@@ -1,0 +1,300 @@
+// Benchmarks regenerating the paper's evaluation (§7). One benchmark per
+// figure/panel:
+//
+//	BenchmarkFigure4            — Fig. 4a/4b utilization sweep
+//	BenchmarkTensorAdd*         — Fig. 13a (compile both toolchains per size)
+//	BenchmarkTensorDot*         — Fig. 13b
+//	BenchmarkFSM*               — Fig. 13c
+//	BenchmarkReticleCompile*    — the Reticle pipeline alone
+//	BenchmarkBaselineCompile*   — the baseline toolchain alone
+//	BenchmarkAblation*          — design-choice ablations (DESIGN.md §5)
+//
+// Each Figure-13 benchmark reports the paper's headline metrics as custom
+// units: compile-speedup(x), run-speedup(x) vs the base configuration.
+// Absolute numbers depend on the host; the *shape* (who wins, by roughly
+// what factor, where the crossovers fall) is the reproduction target —
+// see EXPERIMENTS.md.
+package reticle
+
+import (
+	"fmt"
+	"testing"
+
+	"reticle/internal/bench"
+	"reticle/internal/eval"
+	"reticle/internal/ir"
+	"reticle/internal/isel"
+	"reticle/internal/place"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/vivado"
+)
+
+// benchAnneal is a mid-length schedule: long enough to keep the baseline's
+// character, short enough for repeated benchmark iterations.
+func benchAnneal() vivado.AnnealOptions {
+	return vivado.AnnealOptions{Seed: 1, MovesPerCell: 500, MinMoves: 50_000}
+}
+
+func benchCfg() eval.Config {
+	return eval.Config{Anneal: benchAnneal()}
+}
+
+// BenchmarkFigure4 regenerates the Fig. 4 utilization sweep (both panels).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Figure4(eval.Figure4Sizes, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[len(rows)-1].BehavDsps != 360 {
+			b.Fatal("saturation lost")
+		}
+	}
+}
+
+// figure13Panel benchmarks one size of one Fig. 13 panel: it compiles the
+// program under all three configurations and reports speedups.
+func figure13Panel(b *testing.B, benchName string, size int) {
+	b.Helper()
+	f, err := eval.Program(benchName, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchCfg()
+	var ret, base, hint eval.Row
+	for i := 0; i < b.N; i++ {
+		if ret, err = eval.ReticleCompile(f, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if base, err = eval.BaselineCompile(f, false, cfg); err != nil {
+			b.Fatal(err)
+		}
+		if hint, err = eval.BaselineCompile(f, true, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(base.Compile)/float64(ret.Compile), "compile-speedup-base(x)")
+	b.ReportMetric(float64(hint.Compile)/float64(ret.Compile), "compile-speedup-hint(x)")
+	b.ReportMetric(base.RunNs/ret.RunNs, "run-speedup-base(x)")
+	b.ReportMetric(hint.RunNs/ret.RunNs, "run-speedup-hint(x)")
+	b.ReportMetric(float64(ret.Luts), "reticle-LUTs")
+	b.ReportMetric(float64(ret.Dsps), "reticle-DSPs")
+}
+
+func BenchmarkTensorAdd(b *testing.B) {
+	for _, size := range eval.TensorAddSizes {
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			figure13Panel(b, "tensoradd", size)
+		})
+	}
+}
+
+func BenchmarkTensorDot(b *testing.B) {
+	for _, size := range eval.TensorDotSizes {
+		b.Run(fmt.Sprintf("5x%d", size), func(b *testing.B) {
+			figure13Panel(b, "tensordot", size)
+		})
+	}
+}
+
+func BenchmarkFSM(b *testing.B) {
+	for _, size := range eval.FSMSizes {
+		b.Run(fmt.Sprintf("s%d", size), func(b *testing.B) {
+			figure13Panel(b, "fsm", size)
+		})
+	}
+}
+
+// BenchmarkReticleCompile measures the Reticle pipeline alone across the
+// largest size of each workload.
+func BenchmarkReticleCompile(b *testing.B) {
+	cases := []struct {
+		name string
+		f    func() (*ir.Func, error)
+	}{
+		{"tensoradd512", func() (*ir.Func, error) { return bench.TensorAdd(512) }},
+		{"tensordot5x36", func() (*ir.Func, error) { return bench.TensorDot(5, 36) }},
+		{"fsm9", func() (*ir.Func, error) { return bench.FSM(9) }},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			f, err := tc.f()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := benchCfg()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.ReticleCompile(f, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineCompile measures the simulated traditional toolchain.
+func BenchmarkBaselineCompile(b *testing.B) {
+	for _, hint := range []bool{false, true} {
+		name := "base"
+		if hint {
+			name = "hint"
+		}
+		b.Run(name, func(b *testing.B) {
+			f, err := bench.TensorAdd(256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := benchCfg()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.BaselineCompile(f, hint, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSelector compares optimal tree covering against greedy
+// maximal munch (DESIGN.md ablation 1).
+func BenchmarkAblationSelector(b *testing.B) {
+	f, err := bench.TensorDot(5, 18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := isel.NewLibrary(ultrascale.Target())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, greedy := range []bool{false, true} {
+		name := "optimal"
+		if greedy {
+			name = "greedy"
+		}
+		b.Run(name, func(b *testing.B) {
+			var dsps int
+			for i := 0; i < b.N; i++ {
+				af, err := isel.SelectWithLibrary(f, lib, isel.Options{Greedy: greedy})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dsps = af.AsmCount()
+			}
+			b.ReportMetric(float64(dsps), "instructions")
+		})
+	}
+}
+
+// BenchmarkAblationShrink compares placement with and without the
+// binary-search compaction passes (DESIGN.md ablation 2).
+func BenchmarkAblationShrink(b *testing.B) {
+	f, err := bench.TensorDot(5, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := isel.NewLibrary(ultrascale.Target())
+	if err != nil {
+		b.Fatal(err)
+	}
+	af, err := isel.SelectWithLibrary(f, lib, isel.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := ultrascale.Device()
+	for _, shrink := range []bool{false, true} {
+		name := "plain"
+		if shrink {
+			name = "shrink"
+		}
+		b.Run(name, func(b *testing.B) {
+			var area int
+			for i := 0; i < b.N; i++ {
+				res, err := place.Place(af, dev, place.Options{Shrink: shrink})
+				if err != nil {
+					b.Fatal(err)
+				}
+				area = (res.MaxX[ir.ResDsp] + 1) * (res.MaxY[ir.ResDsp] + 1)
+			}
+			b.ReportMetric(float64(area), "dsp-bbox-area")
+		})
+	}
+}
+
+// BenchmarkAblationCascade compares tensordot timing with and without the
+// §5.2 layout optimization (DESIGN.md ablation 3).
+func BenchmarkAblationCascade(b *testing.B) {
+	f, err := bench.TensorDot(5, 18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, noCascade := range []bool{false, true} {
+		name := "cascade"
+		if noCascade {
+			name = "fabric"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := NewCompilerWith(Options{NoCascade: noCascade})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var crit float64
+			for i := 0; i < b.N; i++ {
+				art, err := c.Compile(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				crit = art.CriticalNs
+			}
+			b.ReportMetric(crit, "critical-ns")
+		})
+	}
+}
+
+// BenchmarkInterpreter measures Algorithm 1 throughput on the fsm.
+func BenchmarkInterpreter(b *testing.B) {
+	f, err := bench.FSM(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := make(Trace, 100)
+	for i := range trace {
+		trace[i] = Step{"go": ir.BoolValue(i%3 != 0)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Interpret(f, trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTimingDriven compares plain solver placement against
+// timing-driven refinement (the paper's named future-work direction).
+func BenchmarkAblationTimingDriven(b *testing.B) {
+	f, err := bench.TensorDot(2, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, td := range []bool{false, true} {
+		name := "plain"
+		if td {
+			name = "refined"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := NewCompilerWith(Options{TimingDriven: td})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var crit float64
+			for i := 0; i < b.N; i++ {
+				art, err := c.Compile(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				crit = art.CriticalNs
+			}
+			b.ReportMetric(crit, "critical-ns")
+		})
+	}
+}

@@ -1,0 +1,195 @@
+// Command reticle-bench regenerates the paper's evaluation figures (§7):
+// Figure 4 (DSP/LUT utilization of behavioral vs hand-optimized structural
+// code) and Figure 13 (compile speedup, run-time speedup, and utilization
+// for tensoradd, tensordot, and fsm under base/hint/reticle).
+//
+// Usage:
+//
+//	reticle-bench [-fig 4|13|all] [-bench tensoradd|tensordot|fsm] [-fast]
+//	reticle-bench -ablate
+//
+// -fast shortens the baseline's annealing schedule for quick smoke runs;
+// the full schedule is what the compile-speedup figures are about.
+// -ablate prints the design-choice comparison table instead of figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"reticle"
+	"reticle/internal/bench"
+	"reticle/internal/eval"
+	"reticle/internal/ir"
+	"reticle/internal/isel"
+	"reticle/internal/place"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/vivado"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4, 13, or all")
+	benchName := flag.String("bench", "", "restrict figure 13 to one benchmark")
+	fast := flag.Bool("fast", false, "shorten the baseline annealing schedule")
+	shrink := flag.Bool("shrink", false, "enable Reticle's shrinking passes")
+	ablate := flag.Bool("ablate", false, "also print the design-choice ablation table")
+	flag.Parse()
+
+	cfg := eval.Config{Shrink: *shrink}
+	if *fast {
+		cfg.Anneal = vivado.AnnealOptions{Seed: 1, MovesPerCell: 100, MinMoves: 20_000}
+	}
+
+	if *ablate {
+		if err := ablations(); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *fig == "4" || *fig == "all" {
+		if err := figure4(cfg); err != nil {
+			fail(err)
+		}
+	}
+	if *fig == "13" || *fig == "all" {
+		benches := []struct {
+			name  string
+			sizes []int
+		}{
+			{"tensoradd", eval.TensorAddSizes},
+			{"tensordot", eval.TensorDotSizes},
+			{"fsm", eval.FSMSizes},
+		}
+		for _, b := range benches {
+			if *benchName != "" && b.name != *benchName {
+				continue
+			}
+			if err := figure13(b.name, b.sizes, cfg); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func figure4(cfg eval.Config) error {
+	fmt.Println("== Figure 4: resource utilization, behavioral+hint vs structural vectorized ==")
+	rows, err := eval.Figure4(eval.Figure4Sizes, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatFig4(rows))
+	fmt.Println()
+	return nil
+}
+
+func figure13(name string, sizes []int, cfg eval.Config) error {
+	fmt.Printf("== Figure 13: %s ==\n", name)
+	rows, err := eval.Figure13(name, sizes, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatRows(rows))
+	fmt.Println()
+	sp := eval.Summarize(rows)
+	fmt.Print(eval.FormatSpeedups(sp))
+	fmt.Println()
+	fmt.Print(eval.FormatChart(sp))
+	fmt.Println()
+	return nil
+}
+
+// ablations prints the DESIGN.md §5 design-choice comparisons.
+func ablations() error {
+	fmt.Println("== Ablations: design choices (DESIGN.md §5) ==")
+
+	// 1. Optimal tree covering vs greedy maximal munch.
+	f, err := bench.TensorDot(5, 18)
+	if err != nil {
+		return err
+	}
+	lib, err := isel.NewLibrary(ultrascale.Target())
+	if err != nil {
+		return err
+	}
+	opt, err := isel.SelectWithLibrary(f, lib, isel.Options{})
+	if err != nil {
+		return err
+	}
+	greedy, err := isel.SelectWithLibrary(f, lib, isel.Options{Greedy: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selection (tensordot 5x18):  optimal %d instructions, greedy %d\n",
+		opt.AsmCount(), greedy.AsmCount())
+
+	// 2. Cascade layout optimization on/off.
+	for _, noCascade := range []bool{false, true} {
+		c, err := reticle.NewCompilerWith(reticle.Options{NoCascade: noCascade})
+		if err != nil {
+			return err
+		}
+		art, err := c.Compile(f)
+		if err != nil {
+			return err
+		}
+		label := "cascade on "
+		if noCascade {
+			label = "cascade off"
+		}
+		fmt.Printf("layout (tensordot 5x18):     %s -> %.3f ns (%d chains)\n",
+			label, art.CriticalNs, art.CascadeChains)
+	}
+
+	// 3. Shrinking passes on/off.
+	small, err := bench.TensorDot(5, 9)
+	if err != nil {
+		return err
+	}
+	af, err := isel.SelectWithLibrary(small, lib, isel.Options{})
+	if err != nil {
+		return err
+	}
+	for _, shrink := range []bool{false, true} {
+		res, err := place.Place(af, ultrascale.Device(), place.Options{Shrink: shrink})
+		if err != nil {
+			return err
+		}
+		label := "shrink off"
+		if shrink {
+			label = "shrink on "
+		}
+		fmt.Printf("placement (tensordot 5x9):   %s -> DSP bbox (%d x %d), %d solver steps\n",
+			label, res.MaxX[ir.ResDsp]+1, res.MaxY[ir.ResDsp]+1, res.SolverSteps)
+	}
+
+	// 4. Timing-driven refinement on/off.
+	dot, err := bench.TensorDot(2, 6)
+	if err != nil {
+		return err
+	}
+	for _, td := range []bool{false, true} {
+		c, err := reticle.NewCompilerWith(reticle.Options{TimingDriven: td})
+		if err != nil {
+			return err
+		}
+		art, err := c.Compile(dot)
+		if err != nil {
+			return err
+		}
+		label := "refine off"
+		if td {
+			label = "refine on "
+		}
+		fmt.Printf("timing-driven (tensordot):   %s -> %.3f ns, compiled in %s\n",
+			label, art.CriticalNs, art.CompileDur)
+	}
+	fmt.Println()
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "reticle-bench:", err)
+	os.Exit(1)
+}

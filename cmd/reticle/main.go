@@ -1,0 +1,30 @@
+// Command reticle is the Reticle compiler driver. It compiles intermediate
+// programs to placed structural Verilog (the Fig. 7 pipeline), interprets
+// programs against traces (optionally dumping VCD waveforms), expands
+// assembly back to IR, translates to the behavioral baselines, and dumps
+// the bundled target description.
+//
+// Usage:
+//
+//	reticle compile [-emit ir|asm|place|verilog|stats] [-shrink] [-no-cascade] [-greedy] file.ret
+//	reticle interp  [-cycles n] [-set name=v1,v2,...]... [-vcd file] file.ret
+//	reticle expand  file.rasm
+//	reticle behav   [-hint] file.ret
+//	reticle opt     [-vectorize n] [-pipeline] [-bind lut|dsp|any] file.ret
+//	reticle verify  [-cycles n] [-seed n] file.ret
+//	reticle target  [-grep substr]
+//
+// File contents are Reticle IR (Fig. 5a) except for expand, which reads
+// assembly (Fig. 5b). "-" reads from stdin. See internal/cli for the
+// implementation.
+package main
+
+import (
+	"os"
+
+	"reticle/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,79 @@
+// Frontend: the §8 compilation steps as a library. A scalar program is
+// vectorized (§8.2, Fig. 16), pipelined (§8.1, Fig. 14), and resource-bound
+// (§8.2, Fig. 17) before entering the Reticle compiler — exactly the
+// division of labor the paper assigns to front-end tools.
+//
+//	go run ./examples/frontend
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reticle"
+)
+
+// Eight independent scalar additions — the unoptimized Fig. 16a shape.
+const scalarProgram = `
+def vadd8(a0:i8, b0:i8, a1:i8, b1:i8, a2:i8, b2:i8, a3:i8, b3:i8,
+          a4:i8, b4:i8, a5:i8, b5:i8, a6:i8, b6:i8, a7:i8, b7:i8) ->
+        (t0:i8, t1:i8, t2:i8, t3:i8, t4:i8, t5:i8, t6:i8, t7:i8) {
+    t0:i8 = add(a0, b0) @??;
+    t1:i8 = add(a1, b1) @??;
+    t2:i8 = add(a2, b2) @??;
+    t3:i8 = add(a3, b3) @??;
+    t4:i8 = add(a4, b4) @??;
+    t5:i8 = add(a5, b5) @??;
+    t6:i8 = add(a6, b6) @??;
+    t7:i8 = add(a7, b7) @??;
+}
+`
+
+func main() {
+	f, err := reticle.ParseIR(scalarProgram)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := reticle.NewCompiler()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(label string, g *reticle.Func) {
+		art, err := c.Compile(g)
+		if err != nil {
+			log.Fatalf("%s: %v", label, err)
+		}
+		fmt.Printf("%-28s %3d DSPs  %3d LUTs  %.3f ns (%.0f MHz)\n",
+			label, art.DSPs, art.LUTs, art.CriticalNs, art.FMaxMHz)
+	}
+
+	fmt.Println("eight i8 additions through the front-end passes:")
+	fmt.Println()
+
+	// Unoptimized: eight scalar operations, eight DSPs.
+	report("scalar (Fig. 16a)", f)
+
+	// Vectorize: two i8<4> operations, two DSPs (§8.2).
+	vec, groups, err := reticle.Vectorize(f, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("vectorized x%d (Fig. 16b)", groups), vec)
+
+	// Pipeline: registered results, higher clock rate (§8.1).
+	piped, regs, err := reticle.Pipeline(vec, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(fmt.Sprintf("vectorized + %d regs", regs), piped)
+
+	// Resource binding: force everything onto LUT fabric — the §8.2
+	// example of optimizing for a metric (say, saving DSPs for another
+	// kernel) the compiler would not choose by itself.
+	lut, err := reticle.Bind(f, reticle.PreferLut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("bound @lut (Fig. 17a)", lut)
+}

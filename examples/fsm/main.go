@@ -1,0 +1,94 @@
+// FSM: a control-oriented coroutine as a finite state machine (§7.1).
+// Control logic can only use LUTs — conditional branching requires
+// multiplexing — so this is the workload where a traditional toolchain's
+// logic optimizer beats Reticle's per-operation mapping. The example shows
+// both sides: Reticle's deterministic LUT mapping and the behavioral
+// baseline's packed result.
+//
+//	go run ./examples/fsm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"reticle"
+	"reticle/internal/bench"
+	"reticle/internal/interp"
+	"reticle/internal/ir"
+)
+
+func main() {
+	const states = 5
+	f, err := bench.FSM(states)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Drive the machine: advance, advance, hold, advance...
+	gos := []bool{true, true, false, true, true, true, true}
+	trace := make(interp.Trace, len(gos))
+	for i, g := range gos {
+		trace[i] = interp.Step{"go": ir.BoolValue(g)}
+	}
+	out, err := reticle.Interpret(f, trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coroutine over %d states (wraps at the end):\n", states)
+	for i := range out {
+		fmt.Printf("  cycle %d: go=%v state=%s\n", i, gos[i], out[i]["y"])
+	}
+
+	// Reticle side: deterministic, LUT-only mapping.
+	c, err := reticle.NewCompiler()
+	if err != nil {
+		log.Fatal(err)
+	}
+	art, err := c.Compile(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreticle:  %3d LUTs, %d DSPs, %.3f ns (%.0f MHz), compiled in %s\n",
+		art.LUTs, art.DSPs, art.CriticalNs, art.FMaxMHz, art.CompileDur)
+
+	// Baseline side: behavioral translation through the traditional
+	// toolchain, whose logic optimizer packs the mux/eq cones.
+	base, err := reticle.BaselineCompile(f, nil, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %3d LUTs, %d DSPs, %.3f ns (%.0f MHz), compiled in %s\n",
+		base.LutsUsed, base.DspsUsed, base.CriticalNs, base.FMaxMHz,
+		base.SynthDur+base.PlaceDur)
+
+	fmt.Println("\nthe baseline wins run-time here (§7.2): control logic is its home turf,")
+	fmt.Println("while Reticle still compiles much faster and maps deterministically.")
+
+	// Show what the baseline actually consumed as input.
+	v, err := reticle.BehavioralVerilog(f, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== behavioral Verilog fed to the baseline (excerpt) ==")
+	lines := 0
+	for _, ln := range splitLines(v) {
+		fmt.Println(ln)
+		if lines++; lines > 14 {
+			fmt.Println("    ...")
+			break
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+// Portability: the same intermediate program retargeted to two FPGA
+// families (§4.2 — "assembly instructions are portable within an FPGA
+// family; devices within a family share the same primitives"). The
+// UltraScale-like and Agilex-like targets differ in DSP capabilities,
+// costs, and fabric geometry; the IR doesn't care.
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"reticle"
+	"reticle/internal/target/agilex"
+)
+
+const kernel = `
+def kernel(a:i8, b:i8, c:i8, k:i24, m:i24, en:bool) -> (y:i8, z:i24) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+    z:i24 = mul(k, m) @??;
+}
+`
+
+func main() {
+	f, err := reticle.ParseIR(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	families := []struct {
+		name string
+		opts reticle.Options
+	}{
+		{"ultrascale / xczu3eg", reticle.Options{}},
+		{"agilex / agf014", reticle.Options{Target: agilex.Target(), Device: agilex.Device()}},
+	}
+
+	fmt.Println("one IR program, two FPGA families:")
+	fmt.Print(kernel)
+
+	for _, fam := range families {
+		c, err := reticle.NewCompilerWith(fam.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		art, err := c.Compile(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", fam.name)
+		for _, line := range strings.Split(art.Asm.String(), "\n") {
+			if strings.Contains(line, "@dsp") || strings.Contains(line, "@lut") {
+				fmt.Println(line)
+			}
+		}
+		fmt.Printf("  -> %d DSPs, %d LUTs, %.3f ns (%.0f MHz)\n\n",
+			art.DSPs, art.LUTs, art.CriticalNs, art.FMaxMHz)
+	}
+
+	fmt.Println("note the 24-bit multiply: one DSP on UltraScale (27-bit multiplier),")
+	fmt.Println("but ALM fabric on Agilex (18-bit multiplier limit) — the selection is")
+	fmt.Println("deterministic and visible, never a silent toolchain surprise.")
+}

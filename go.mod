@@ -1,0 +1,3 @@
+module reticle
+
+go 1.22

@@ -1,0 +1,33 @@
+package asm
+
+import "testing"
+
+// FuzzParse feeds arbitrary text to the assembly parser: error or a
+// function whose printed form is a parse/print fixpoint; never a panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig11a,
+		fig11b,
+		`def f(a:i8) -> (y:i8) { y:i8 = thing[1, 2](a) @lut(x+3, y-1); }`,
+		`def f(a:i8) -> (y:i8) { t0:i8 = const[5]; y:i8 = op(t0) @dsp(??, ??); }`,
+		`def broken(a:i8) -> (y:i8) { y:i8 = add(a, a); }`,
+		`@@@`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := fn.String()
+		back, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\n%s", err, printed)
+		}
+		if back.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, back.String())
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"reticle/internal/ir"
+)
+
+// Instr is one assembly-program instruction. Assembly programs mix two
+// instruction kinds (Fig. 5b):
+//
+//   - wire instructions, identical to the intermediate language's
+//     (Op is the wire operation, Name is empty, Loc is unused); and
+//   - assembly instructions, whose operation Name refers to a target
+//     definition and which carry a location (Op is ir.OpInvalid).
+type Instr struct {
+	Dest  string
+	Type  ir.Type
+	Op    ir.Op  // wire operation, or ir.OpInvalid for assembly instructions
+	Name  string // assembly operation name, or "" for wire instructions
+	Attrs []int64
+	Args  []string
+	Loc   Loc
+}
+
+// IsWire reports whether the instruction is a wire instruction.
+func (in Instr) IsWire() bool { return in.Op != ir.OpInvalid }
+
+// String renders the instruction in source syntax.
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Dest)
+	b.WriteByte(':')
+	b.WriteString(in.Type.String())
+	b.WriteString(" = ")
+	if in.IsWire() {
+		b.WriteString(in.Op.String())
+	} else {
+		b.WriteString(in.Name)
+	}
+	if len(in.Attrs) > 0 {
+		b.WriteByte('[')
+		for i, a := range in.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", a)
+		}
+		b.WriteByte(']')
+	}
+	if !(in.IsWire() && in.Op == ir.OpConst) {
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a)
+		}
+		b.WriteByte(')')
+	}
+	if !in.IsWire() {
+		b.WriteString(" @")
+		b.WriteString(in.Loc.String())
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// Clone returns a deep copy of the instruction.
+func (in Instr) Clone() Instr {
+	out := in
+	out.Attrs = append([]int64(nil), in.Attrs...)
+	out.Args = append([]string(nil), in.Args...)
+	return out
+}
+
+// WireInstr wraps an IR wire instruction as an assembly-program instruction.
+func WireInstr(in ir.Instr) Instr {
+	if !in.Op.IsWire() {
+		panic("asm: WireInstr on compute op " + in.Op.String())
+	}
+	return Instr{
+		Dest:  in.Dest,
+		Type:  in.Type,
+		Op:    in.Op,
+		Attrs: append([]int64(nil), in.Attrs...),
+		Args:  append([]string(nil), in.Args...),
+	}
+}
+
+// WireIR converts a wire instruction back to its IR form.
+func (in Instr) WireIR() ir.Instr {
+	if !in.IsWire() {
+		panic("asm: WireIR on assembly instruction " + in.Name)
+	}
+	return ir.Instr{
+		Dest:  in.Dest,
+		Type:  in.Type,
+		Op:    in.Op,
+		Attrs: append([]int64(nil), in.Attrs...),
+		Args:  append([]string(nil), in.Args...),
+		Res:   ir.ResAny,
+	}
+}
+
+// Func is an assembly-language function: same shape as an IR function,
+// with assembly instructions in place of compute instructions.
+type Func struct {
+	Name    string
+	Inputs  []ir.Port
+	Outputs []ir.Port
+	Body    []Instr
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	out := &Func{
+		Name:    f.Name,
+		Inputs:  append([]ir.Port(nil), f.Inputs...),
+		Outputs: append([]ir.Port(nil), f.Outputs...),
+		Body:    make([]Instr, len(f.Body)),
+	}
+	for i, in := range f.Body {
+		out.Body[i] = in.Clone()
+	}
+	return out
+}
+
+// String renders the function in source syntax.
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString("def ")
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for i, p := range f.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(") -> (")
+	for i, p := range f.Outputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(") {\n")
+	for _, in := range f.Body {
+		b.WriteString("    ")
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// AsmCount returns the number of assembly (non-wire) instructions.
+func (f *Func) AsmCount() int {
+	n := 0
+	for _, in := range f.Body {
+		if !in.IsWire() {
+			n++
+		}
+	}
+	return n
+}
+
+// Resolved reports whether every assembly instruction has literal
+// coordinates (the output of the placement stage).
+func (f *Func) Resolved() bool {
+	for _, in := range f.Body {
+		if !in.IsWire() && !in.Loc.Resolved() {
+			return false
+		}
+	}
+	return true
+}
+
+// CoordVars returns the set of coordinate variable names used in the body.
+func (f *Func) CoordVars() map[string]bool {
+	vars := make(map[string]bool)
+	for _, in := range f.Body {
+		if in.IsWire() {
+			continue
+		}
+		for _, c := range []Coord{in.Loc.X, in.Loc.Y} {
+			if c.Var != "" {
+				vars[c.Var] = true
+			}
+		}
+	}
+	return vars
+}

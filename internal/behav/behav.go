@@ -1,0 +1,254 @@
+// Package behav implements the baseline translation backends of §7: they
+// transform Reticle intermediate programs into code resembling standard
+// behavioral Verilog. Two flavors exist:
+//
+//   - Base: portable behavioral Verilog, no vendor extensions.
+//   - Hint: the same code annotated with (* use_dsp = "yes" *), the
+//     vendor-specific synthesis directive of Fig. 3.
+//
+// Resource and placement annotations cannot be expressed behaviorally and
+// are dropped — that lossiness is precisely the paper's point. Vector
+// operations unroll into per-lane scalar expressions, mirroring the genvar
+// loop of Fig. 3.
+package behav
+
+import (
+	"fmt"
+
+	"reticle/internal/ir"
+	"reticle/internal/verilog"
+)
+
+// Flavor selects the baseline variant.
+type Flavor uint8
+
+// The two §7 baselines.
+const (
+	Base Flavor = iota
+	Hint
+)
+
+func (f Flavor) String() string {
+	if f == Hint {
+		return "hint"
+	}
+	return "base"
+}
+
+// Translate emits a behavioral Verilog module for an IR function.
+func Translate(f *ir.Func, flavor Flavor) (*verilog.Module, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, err
+	}
+	if _, _, err := ir.CheckWellFormed(f); err != nil {
+		return nil, err
+	}
+	m := &verilog.Module{Name: f.Name}
+	if flavor == Hint {
+		m.Attrs = []verilog.Attr{{Key: "use_dsp", Value: "yes"}}
+	}
+
+	stateful := false
+	for _, in := range f.Body {
+		if in.Op.IsStateful() {
+			stateful = true
+		}
+	}
+	if stateful {
+		m.AddPort(verilog.Input, "clk", 1)
+	}
+	for _, p := range f.Inputs {
+		m.AddPort(verilog.Input, p.Name, p.Type.Bits())
+	}
+	for _, p := range f.Outputs {
+		m.AddPort(verilog.Output, p.Name, p.Type.Bits())
+	}
+
+	outNames := make(map[string]bool)
+	for _, p := range f.Outputs {
+		outNames[p.Name] = true
+	}
+	types := f.InputTypes()
+	for _, in := range f.Body {
+		types[in.Dest] = in.Type
+	}
+
+	// Declarations: regs for stateful destinations, wires otherwise.
+	// Outputs defined by registers need a mirror reg plus an assign.
+	for _, in := range f.Body {
+		if in.Op.IsStateful() {
+			regName := in.Dest
+			if outNames[in.Dest] {
+				regName = in.Dest + "_q"
+				m.AddItem(verilog.Assign{LHS: verilog.Ref(in.Dest), RHS: verilog.Ref(regName)})
+			}
+			m.AddItem(verilog.Reg{
+				Name: regName, Width: in.Type.Bits(),
+				Init: flattenInit(in), HasInit: true,
+			})
+			continue
+		}
+		if !outNames[in.Dest] {
+			m.AddItem(verilog.Wire{Name: in.Dest, Width: in.Type.Bits()})
+		}
+	}
+
+	// regRef renames register reads to the mirror reg where needed.
+	regNames := make(map[string]string)
+	for _, in := range f.Body {
+		if in.Op.IsStateful() && outNames[in.Dest] {
+			regNames[in.Dest] = in.Dest + "_q"
+		}
+	}
+	ref := func(name string) verilog.Expr {
+		if rn, ok := regNames[name]; ok {
+			return verilog.Ref(rn)
+		}
+		return verilog.Ref(name)
+	}
+
+	var ffs []verilog.Stmt
+	for _, in := range f.Body {
+		if in.Op.IsStateful() {
+			lhs := in.Dest
+			if rn, ok := regNames[in.Dest]; ok {
+				lhs = rn
+			}
+			ffs = append(ffs, verilog.If{
+				Cond: ref(in.Args[1]),
+				Then: []verilog.Stmt{
+					verilog.NonBlocking{LHS: verilog.Ref(lhs), RHS: ref(in.Args[0])},
+				},
+			})
+			continue
+		}
+		items, err := assignFor(in, types, ref)
+		if err != nil {
+			return nil, fmt.Errorf("behav: %s: %w", in.Dest, err)
+		}
+		m.AddItem(items...)
+	}
+	if len(ffs) > 0 {
+		m.AddItem(verilog.AlwaysFF{Clock: "clk", Stmts: ffs})
+	}
+	return m, nil
+}
+
+// flattenInit packs a register's per-lane initial values into one literal.
+func flattenInit(in ir.Instr) int64 {
+	w := in.Type.Width()
+	var bits int64
+	for i := 0; i < in.Type.Lanes(); i++ {
+		v := in.Attrs[0]
+		if len(in.Attrs) == in.Type.Lanes() {
+			v = in.Attrs[i]
+		}
+		bits |= (v & int64(maskOf(w))) << uint(i*w)
+	}
+	return bits
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// assignFor renders one pure instruction as continuous assignments.
+// Vector compute operations unroll into one assignment per lane.
+func assignFor(in ir.Instr, types map[string]ir.Type, ref func(string) verilog.Expr) ([]verilog.Item, error) {
+	t := in.Type
+	if t.IsVector() && in.Op.IsCompute() {
+		var items []verilog.Item
+		w := t.Width()
+		for l := 0; l < t.Lanes(); l++ {
+			laneSlice := func(name string) verilog.Expr {
+				return verilog.Slice{X: ref(name), Hi: (l+1)*w - 1, Lo: l * w}
+			}
+			rhs, err := scalarRHS(in, laneSlice, func(name string) verilog.Expr { return ref(name) })
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, verilog.Assign{
+				LHS: verilog.Slice{X: verilog.Ref(in.Dest), Hi: (l+1)*w - 1, Lo: l * w},
+				RHS: rhs,
+			})
+		}
+		return items, nil
+	}
+
+	switch in.Op {
+	case ir.OpConst, ir.OpId, ir.OpSll, ir.OpSrl, ir.OpSra, ir.OpSlice, ir.OpCat:
+		rhs, err := wireRHS(in, types, ref)
+		if err != nil {
+			return nil, err
+		}
+		return []verilog.Item{verilog.Assign{LHS: verilog.Ref(in.Dest), RHS: rhs}}, nil
+	default:
+		rhs, err := scalarRHS(in, func(name string) verilog.Expr { return ref(name) }, ref)
+		if err != nil {
+			return nil, err
+		}
+		return []verilog.Item{verilog.Assign{LHS: verilog.Ref(in.Dest), RHS: rhs}}, nil
+	}
+}
+
+// scalarRHS renders a compute op; lane maps data operands (possibly to a
+// lane slice), whole maps scalar-only operands such as mux conditions.
+func scalarRHS(in ir.Instr, lane func(string) verilog.Expr, whole func(string) verilog.Expr) (verilog.Expr, error) {
+	bin := map[ir.Op]string{
+		ir.OpAdd: "+", ir.OpSub: "-", ir.OpMul: "*",
+		ir.OpAnd: "&", ir.OpOr: "|", ir.OpXor: "^",
+		ir.OpEq: "==", ir.OpNeq: "!=",
+		ir.OpLt: "<", ir.OpGt: ">", ir.OpLe: "<=", ir.OpGe: ">=",
+	}
+	if op, ok := bin[in.Op]; ok {
+		lhs, rhs := lane(in.Args[0]), lane(in.Args[1])
+		if in.Op == ir.OpLt || in.Op == ir.OpGt || in.Op == ir.OpLe || in.Op == ir.OpGe {
+			// Signed comparison semantics.
+			lhs = verilog.Unary{Op: "$signed", X: lhs}
+			rhs = verilog.Unary{Op: "$signed", X: rhs}
+		}
+		return verilog.Binary{Op: op, A: lhs, B: rhs}, nil
+	}
+	switch in.Op {
+	case ir.OpNot:
+		return verilog.Unary{Op: "~", X: lane(in.Args[0])}, nil
+	case ir.OpMux:
+		return verilog.Ternary{
+			Cond: whole(in.Args[0]),
+			Then: lane(in.Args[1]),
+			Else: lane(in.Args[2]),
+		}, nil
+	}
+	return nil, fmt.Errorf("behav: no behavioral form for %s", in.Op)
+}
+
+// wireRHS renders wire operations, mirroring codegen's structural wiring.
+func wireRHS(in ir.Instr, types map[string]ir.Type, ref func(string) verilog.Expr) (verilog.Expr, error) {
+	switch in.Op {
+	case ir.OpConst:
+		return verilog.HexLit(in.Type.Bits(), uint64(flattenInit(in))), nil
+	case ir.OpId:
+		return ref(in.Args[0]), nil
+	case ir.OpSll:
+		return verilog.Binary{Op: "<<", A: ref(in.Args[0]), B: verilog.Int(in.Attrs[0])}, nil
+	case ir.OpSrl:
+		return verilog.Binary{Op: ">>", A: ref(in.Args[0]), B: verilog.Int(in.Attrs[0])}, nil
+	case ir.OpSra:
+		return verilog.Binary{Op: ">>>",
+			A: verilog.Unary{Op: "$signed", X: ref(in.Args[0])}, B: verilog.Int(in.Attrs[0])}, nil
+	case ir.OpSlice:
+		src := types[in.Args[0]]
+		if src.IsVector() {
+			l := int(in.Attrs[0])
+			w := src.Width()
+			return verilog.Slice{X: ref(in.Args[0]), Hi: (l+1)*w - 1, Lo: l * w}, nil
+		}
+		return verilog.Slice{X: ref(in.Args[0]), Hi: int(in.Attrs[0]), Lo: int(in.Attrs[1])}, nil
+	case ir.OpCat:
+		return verilog.Concat{Parts: []verilog.Expr{ref(in.Args[1]), ref(in.Args[0])}}, nil
+	}
+	return nil, fmt.Errorf("behav: not a wire op %s", in.Op)
+}

@@ -1,0 +1,182 @@
+package behav
+
+import (
+	"strings"
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func translate(t *testing.T, src string, flavor Flavor) string {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Translate(f, flavor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.String()
+}
+
+func TestBaseAdd(t *testing.T) {
+	v := translate(t, `
+def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @dsp; }
+`, Base)
+	for _, want := range []string{
+		"module f(input [7:0] a, input [7:0] b, output [7:0] y);",
+		"assign y = a + b;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q:\n%s", want, v)
+		}
+	}
+	// Behavioral code cannot express the resource annotation.
+	if strings.Contains(v, "dsp") {
+		t.Errorf("base flavor leaked an annotation:\n%s", v)
+	}
+}
+
+func TestHintAttribute(t *testing.T) {
+	v := translate(t, `
+def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }
+`, Hint)
+	if !strings.Contains(v, `(* use_dsp = "yes" *)`) {
+		t.Errorf("missing hint attribute:\n%s", v)
+	}
+}
+
+func TestFlavorString(t *testing.T) {
+	if Base.String() != "base" || Hint.String() != "hint" {
+		t.Error("flavor names wrong")
+	}
+}
+
+// TestVectorUnrolls mirrors Figure 3: vector ops become per-lane scalar
+// expressions (what a genvar loop elaborates to).
+func TestVectorUnrolls(t *testing.T) {
+	v := translate(t, `
+def f(a:i8<4>, b:i8<4>) -> (y:i8<4>) { y:i8<4> = add(a, b) @dsp; }
+`, Hint)
+	for _, want := range []string{
+		"assign y[7:0] = a[7:0] + b[7:0];",
+		"assign y[31:24] = a[31:24] + b[31:24];",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestRegisterBecomesAlways(t *testing.T) {
+	v := translate(t, `
+def f(a:i8, en:bool) -> (y:i8) { y:i8 = reg[3](a, en) @??; }
+`, Base)
+	for _, want := range []string{
+		"input clk",
+		"reg [7:0] y_q = 8'h3;",
+		"assign y = y_q;",
+		"always @(posedge clk) begin",
+		"if (en) begin",
+		"y_q <= a;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestInternalRegisterKeepsName(t *testing.T) {
+	v := translate(t, `
+def f(a:i8, en:bool) -> (z:i8) {
+    r:i8 = reg[0](a, en) @??;
+    z:i8 = add(r, a) @??;
+}
+`, Base)
+	if !strings.Contains(v, "reg [7:0] r = 8'h0;") {
+		t.Errorf("internal register mangled:\n%s", v)
+	}
+	if !strings.Contains(v, "assign z = r + a;") {
+		t.Errorf("register read mangled:\n%s", v)
+	}
+}
+
+func TestSignedComparison(t *testing.T) {
+	v := translate(t, `
+def f(a:i8, b:i8) -> (y:bool) { y:bool = lt(a, b) @??; }
+`, Base)
+	if !strings.Contains(v, "assign y = $signed(a) < $signed(b);") {
+		t.Errorf("comparison not signed:\n%s", v)
+	}
+}
+
+func TestMuxTernary(t *testing.T) {
+	v := translate(t, `
+def f(c:bool, a:i8, b:i8) -> (y:i8) { y:i8 = mux(c, a, b) @lut; }
+`, Base)
+	if !strings.Contains(v, "assign y = c ? a : b;") {
+		t.Errorf("mux form wrong:\n%s", v)
+	}
+}
+
+func TestWireOps(t *testing.T) {
+	v := translate(t, `
+def f(a:i8) -> (y:i8, z:i8) {
+    t0:i4 = slice[7, 4](a);
+    t1:i4 = slice[3, 0](a);
+    y:i8 = cat(t0, t1);
+    z:i8 = sra[2](a);
+}
+`, Base)
+	for _, want := range []string{
+		"assign t0 = a[7:4];",
+		"assign y = {t1, t0};",
+		"assign z = $signed(a) >>> 2;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestFeedbackProgram(t *testing.T) {
+	// Figure 12b must translate: register feedback is behavioral bread
+	// and butter.
+	v := translate(t, `
+def fig12b(x:bool) -> (t3:i8) {
+    t0:bool = const[1];
+    t1:i8 = const[4];
+    t2:i8 = add(t3, t1) @??;
+    t3:i8 = reg[0](t2, t0) @??;
+}
+`, Base)
+	if !strings.Contains(v, "assign t2 = t3_q + t1;") {
+		t.Errorf("feedback read should use the register:\n%s", v)
+	}
+}
+
+func TestIllFormedRejected(t *testing.T) {
+	f, err := ir.Parse(`
+def bad(x:bool) -> (t1:i8) {
+    t0:i8 = const[4];
+    t1:i8 = add(t1, t0) @??;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Translate(f, Base); err == nil {
+		t.Error("Translate accepted combinational cycle")
+	}
+}
+
+func TestVectorRegister(t *testing.T) {
+	v := translate(t, `
+def f(a:i8<2>, en:bool) -> (y:i8<2>) { y:i8<2> = reg[1, 2](a, en) @dsp; }
+`, Base)
+	// init = lane0 | lane1<<8 = 0x0201.
+	if !strings.Contains(v, "reg [15:0] y_q = 16'h201;") {
+		t.Errorf("vector init wrong:\n%s", v)
+	}
+}

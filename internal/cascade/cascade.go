@@ -1,0 +1,204 @@
+// Package cascade implements Reticle's layout optimization (§5.2 of the
+// paper): rewriting chains of accumulating DSP operations to cascade
+// variants with relative placement constraints.
+//
+// A chain t1 = muladd(c, d, t0 = muladd(a, b, in)) is rewritten so the
+// producer drives the DSP column's high-speed cascade output (the _co
+// variant) and the consumer reads the cascade input (_ci), with shared
+// coordinate variables pinning the two instructions to vertically adjacent
+// slices of the same column (Fig. 11). Longer chains use the _coci variant
+// in the middle. The constraints are solved later by instruction placement,
+// keeping the optimization portable within the family.
+package cascade
+
+import (
+	"fmt"
+
+	"reticle/internal/asm"
+	"reticle/internal/tdl"
+)
+
+// Variants names the cascade forms of a base operation. It mirrors
+// ultrascale.CascadeVariants without importing the target package.
+type Variants struct {
+	Co   string
+	Ci   string
+	CoCi string
+}
+
+// Options configures the pass.
+type Options struct {
+	// Cascades maps base operation names to their variants.
+	Cascades map[string]Variants
+	// AccPort names the TDL input that accepts the cascaded partial sum
+	// ("c" for the muladd family).
+	AccPort string
+	// MaxChain bounds rewritten chain length (a chain cannot exceed the
+	// device column height or placement will fail). Zero means no bound.
+	MaxChain int
+}
+
+// Stats reports what the pass did.
+type Stats struct {
+	Chains    int
+	Rewritten int // instructions converted to cascade variants
+}
+
+// Apply rewrites cascade chains in place on a copy of f and returns it.
+func Apply(f *asm.Func, target *tdl.Target, opts Options) (*asm.Func, Stats, error) {
+	var st Stats
+	if opts.AccPort == "" {
+		opts.AccPort = "c"
+	}
+	if err := asm.CheckTarget(f, target); err != nil {
+		return nil, st, err
+	}
+	out := f.Clone()
+
+	// accIdx resolves the accumulator argument index of an operation.
+	accIdx := func(name string) int {
+		def, ok := target.Lookup(name)
+		if !ok {
+			return -1
+		}
+		for i, p := range def.Inputs {
+			if p.Name == opts.AccPort {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Use counts and single-consumer map over every value.
+	uses := make(map[string]int)
+	consumer := make(map[string]int) // dest -> body index of its only consumer so far
+	for i, in := range out.Body {
+		for _, a := range in.Args {
+			uses[a]++
+			consumer[a] = i
+		}
+	}
+	for _, p := range out.Outputs {
+		uses[p.Name]++ // outputs are externally visible: cannot be cascaded away
+	}
+	byDest := make(map[string]int, len(out.Body))
+	for i, in := range out.Body {
+		byDest[in.Dest] = i
+	}
+
+	// cascadable reports whether body[i] can join a chain at all.
+	cascadable := func(i int) bool {
+		in := out.Body[i]
+		if in.IsWire() {
+			return false
+		}
+		if _, ok := opts.Cascades[in.Name]; !ok {
+			return false
+		}
+		// Respect explicit user placement: only rewrite fully wildcarded
+		// locations.
+		return in.Loc.X.Wild && in.Loc.Y.Wild
+	}
+
+	// linksTo reports whether body[i]'s output feeds body[j]'s accumulator
+	// port exclusively.
+	linksTo := func(i int) (int, bool) {
+		dest := out.Body[i].Dest
+		if uses[dest] != 1 {
+			return 0, false
+		}
+		j := consumer[dest]
+		if !cascadable(j) {
+			return 0, false
+		}
+		k := accIdx(out.Body[j].Name)
+		if k < 0 || out.Body[j].Args[k] != dest {
+			return 0, false
+		}
+		// The value must feed only the accumulator port, not a/b as well.
+		count := 0
+		for _, a := range out.Body[j].Args {
+			if a == dest {
+				count++
+			}
+		}
+		return j, count == 1
+	}
+
+	inChain := make(map[int]bool)
+	varNames := out.CoordVars()
+	freshVar := func(prefix string, n int) string {
+		for {
+			name := fmt.Sprintf("%s%d", prefix, n)
+			if !varNames[name] {
+				varNames[name] = true
+				return name
+			}
+			n++
+		}
+	}
+
+	chainID := 0
+	for i := range out.Body {
+		if !cascadable(i) || inChain[i] {
+			continue
+		}
+		// Skip if i is itself fed by a cascadable predecessor through the
+		// accumulator port; the chain will start there instead.
+		isHead := true
+		k := accIdx(out.Body[i].Name)
+		if k >= 0 {
+			if pi, ok := byDest[out.Body[i].Args[k]]; ok && cascadable(pi) && !inChain[pi] {
+				if j, ok2 := linksTo(pi); ok2 && j == i {
+					isHead = false
+				}
+			}
+		}
+		if !isHead {
+			continue
+		}
+		// Grow the chain forward.
+		chain := []int{i}
+		cur := i
+		for {
+			if opts.MaxChain > 0 && len(chain) >= opts.MaxChain {
+				break
+			}
+			j, ok := linksTo(cur)
+			if !ok || inChain[j] {
+				break
+			}
+			chain = append(chain, j)
+			cur = j
+		}
+		if len(chain) < 2 {
+			continue
+		}
+		// Rewrite: head -> _co, middles -> _coci, tail -> _ci, with shared
+		// coordinates (x, y+k).
+		xv := freshVar("cx", chainID)
+		yv := freshVar("cy", chainID)
+		chainID++
+		for pos, bi := range chain {
+			inChain[bi] = true
+			v := opts.Cascades[out.Body[bi].Name]
+			switch {
+			case pos == 0:
+				out.Body[bi].Name = v.Co
+			case pos == len(chain)-1:
+				out.Body[bi].Name = v.Ci
+			default:
+				out.Body[bi].Name = v.CoCi
+			}
+			out.Body[bi].Loc.X = asm.VarPlus(xv, 0)
+			out.Body[bi].Loc.Y = asm.VarPlus(yv, int64(pos))
+		}
+		st.Chains++
+		st.Rewritten += len(chain)
+	}
+
+	if err := asm.CheckTarget(out, target); err != nil {
+		return nil, st, fmt.Errorf("cascade: rewrite produced invalid assembly: %w", err)
+	}
+	return out, st, nil
+}

@@ -1,0 +1,411 @@
+// Package cli implements the reticle command-line driver. It lives apart
+// from cmd/reticle so the commands are unit-testable: Run takes argument
+// and stream parameters and returns an exit code.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"reticle"
+	"reticle/internal/interp"
+	"reticle/internal/ir"
+	"reticle/internal/irgen"
+	"reticle/internal/vcd"
+)
+
+// Run executes one CLI invocation. args excludes the program name.
+func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "compile":
+		err = cmdCompile(args[1:], stdin, stdout)
+	case "interp":
+		err = cmdInterp(args[1:], stdin, stdout)
+	case "expand":
+		err = cmdExpand(args[1:], stdin, stdout)
+	case "behav":
+		err = cmdBehav(args[1:], stdin, stdout)
+	case "verify":
+		err = cmdVerify(args[1:], stdin, stdout)
+	case "opt":
+		err = cmdOpt(args[1:], stdin, stdout)
+	case "target":
+		err = cmdTarget(args[1:], stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "reticle: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "reticle:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  reticle compile [-emit ir|asm|place|verilog|stats|timing] [-shrink] [-no-cascade] [-greedy] file.ret
+  reticle interp  [-cycles n] [-set name=v1,v2,...]... [-vcd file] file.ret
+  reticle expand  file.rasm
+  reticle behav   [-hint] file.ret
+  reticle opt     [-vectorize n] [-pipeline] [-bind lut|dsp|any] file.ret
+  reticle verify  [-cycles n] [-seed n] file.ret
+  reticle target  [-grep substr]
+`)
+}
+
+func readSource(args []string, stdin io.Reader) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("expected exactly one input file")
+	}
+	if args[0] == "-" {
+		data, err := io.ReadAll(stdin)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
+	emit := fs.String("emit", "verilog", "stage to print: ir|asm|place|verilog|stats|timing")
+	shrink := fs.Bool("shrink", false, "enable area-compaction shrinking passes")
+	noCascade := fs.Bool("no-cascade", false, "disable DSP cascade layout optimization")
+	greedy := fs.Bool("greedy", false, "greedy (maximal munch) instruction selection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	c, err := reticle.NewCompilerWith(reticle.Options{
+		Shrink:    *shrink,
+		NoCascade: *noCascade,
+		Greedy:    *greedy,
+	})
+	if err != nil {
+		return err
+	}
+	art, err := c.CompileString(src)
+	if err != nil {
+		return err
+	}
+	switch *emit {
+	case "ir":
+		fmt.Fprint(stdout, art.IR.String())
+	case "asm":
+		fmt.Fprint(stdout, art.Asm.String())
+	case "place":
+		fmt.Fprint(stdout, art.Placed.String())
+	case "verilog":
+		fmt.Fprint(stdout, art.Verilog)
+	case "timing":
+		fmt.Fprintf(stdout, "critical path: %.3f ns (%.1f MHz)\n", art.CriticalNs, art.FMaxMHz)
+		for i, step := range art.CriticalPath {
+			fmt.Fprintf(stdout, "  %2d. %s\n", i, step)
+		}
+	case "stats":
+		fmt.Fprintf(stdout, "luts      %d\n", art.LUTs)
+		fmt.Fprintf(stdout, "dsps      %d\n", art.DSPs)
+		fmt.Fprintf(stdout, "ffs       %d\n", art.FFs)
+		fmt.Fprintf(stdout, "carries   %d\n", art.Carries)
+		fmt.Fprintf(stdout, "critical  %.3f ns\n", art.CriticalNs)
+		fmt.Fprintf(stdout, "fmax      %.1f MHz\n", art.FMaxMHz)
+		fmt.Fprintf(stdout, "compile   %s\n", art.CompileDur)
+		fmt.Fprintf(stdout, "cascades  %d\n", art.CascadeChains)
+	default:
+		return fmt.Errorf("unknown -emit %q", *emit)
+	}
+	return nil
+}
+
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, ";") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+func cmdInterp(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("interp", flag.ContinueOnError)
+	cycles := fs.Int("cycles", 0, "number of cycles (default: longest -set series)")
+	vcdPath := fs.String("vcd", "", "write the run as a VCD waveform to this file")
+	var sets setFlags
+	fs.Var(&sets, "set", "input series, e.g. -set a=1,2,3 (repeatable; last value holds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ParseIR(src)
+	if err != nil {
+		return err
+	}
+	series := map[string][]int64{}
+	n := *cycles
+	for _, s := range sets {
+		name, vals, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("bad -set %q", s)
+		}
+		if _, ok := f.TypeOf(name); !ok {
+			return fmt.Errorf("-set %q: no such input", name)
+		}
+		for _, v := range strings.Split(vals, ",") {
+			x, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad -set %q: %v", s, err)
+			}
+			series[name] = append(series[name], x)
+		}
+		if len(series[name]) > n {
+			n = len(series[name])
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	trace := make(reticle.Trace, n)
+	for i := range trace {
+		step := reticle.Step{}
+		for _, p := range f.Inputs {
+			vals := series[p.Name]
+			var v int64
+			switch {
+			case len(vals) == 0:
+				v = 0
+			case i < len(vals):
+				v = vals[i]
+			default:
+				v = vals[len(vals)-1]
+			}
+			step[p.Name] = valueOf(p.Type, v)
+		}
+		trace[i] = step
+	}
+	out, err := reticle.Interpret(f, trace)
+	if err != nil {
+		return err
+	}
+	for i, step := range out {
+		fmt.Fprintf(stdout, "cycle %d:", i)
+		for _, p := range f.Outputs {
+			fmt.Fprintf(stdout, " %s=%s", p.Name, step[p.Name])
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *vcdPath != "" {
+		file, err := os.Create(*vcdPath)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := vcd.Write(file, f, interp.Trace(trace), interp.Trace(out)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func valueOf(t ir.Type, v int64) ir.Value {
+	if t.IsBool() {
+		return ir.BoolValue(v != 0)
+	}
+	if t.IsVector() {
+		vals := make([]int64, t.Lanes())
+		for i := range vals {
+			vals[i] = v
+		}
+		return ir.VectorValue(t, vals...)
+	}
+	return ir.ScalarValue(t, v)
+}
+
+func cmdExpand(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("expand", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	af, err := reticle.ParseAsm(src)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ExpandAsm(af, reticle.UltraScale())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, f.String())
+	return nil
+}
+
+func cmdBehav(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("behav", flag.ContinueOnError)
+	hint := fs.Bool("hint", false, "emit vendor use_dsp hints")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ParseIR(src)
+	if err != nil {
+		return err
+	}
+	v, err := reticle.BehavioralVerilog(f, *hint)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, v)
+	return nil
+}
+
+// cmdOpt exposes the §8 front-end passes: constant folding, CSE, DCE,
+// optional vectorization and pipelining, and resource binding.
+func cmdOpt(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("opt", flag.ContinueOnError)
+	vectorize := fs.Int("vectorize", 0, "combine independent scalars into N-lane vectors")
+	pipeline := fs.Bool("pipeline", false, "register every compute result")
+	enable := fs.String("enable", "", "bool value used as pipeline clock enable")
+	bind := fs.String("bind", "", "rebind resources: lut|dsp|any")
+	noClean := fs.Bool("no-clean", false, "skip fold/CSE/DCE cleanup")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ParseIR(src)
+	if err != nil {
+		return err
+	}
+	if !*noClean {
+		if f, err = reticle.Optimize(f); err != nil {
+			return err
+		}
+	}
+	if *vectorize > 0 {
+		if f, _, err = reticle.Vectorize(f, *vectorize); err != nil {
+			return err
+		}
+	}
+	if *pipeline {
+		if f, _, err = reticle.Pipeline(f, *enable); err != nil {
+			return err
+		}
+	}
+	switch *bind {
+	case "":
+	case "lut":
+		if f, err = reticle.Bind(f, reticle.PreferLut); err != nil {
+			return err
+		}
+	case "dsp":
+		if f, err = reticle.Bind(f, reticle.PreferDsp); err != nil {
+			return err
+		}
+	case "any":
+		if f, err = reticle.Bind(f, reticle.Unbind); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -bind %q", *bind)
+	}
+	fmt.Fprint(stdout, f.String())
+	return nil
+}
+
+// cmdVerify is translation validation as a command: compile the program,
+// expand the selected assembly back to IR via its TDL semantics, and
+// compare traces against the source on random inputs.
+func cmdVerify(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	cycles := fs.Int("cycles", 50, "number of random cycles to compare")
+	seed := fs.Int64("seed", 1, "random seed for input traces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ParseIR(src)
+	if err != nil {
+		return err
+	}
+	c, err := reticle.NewCompiler()
+	if err != nil {
+		return err
+	}
+	art, err := c.Compile(f)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	trace := interp.Trace(irgen.RandomTrace(rng, f, *cycles))
+	want, err := reticle.Interpret(f, reticle.Trace(trace))
+	if err != nil {
+		return err
+	}
+	got, err := reticle.InterpretAsm(art.Asm, c.Target(), reticle.Trace(trace))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		for _, p := range f.Outputs {
+			if !want[i][p.Name].Equal(got[i][p.Name]) {
+				return fmt.Errorf("verify: cycle %d: %s = %s, source says %s",
+					i, p.Name, got[i][p.Name], want[i][p.Name])
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "verified: %d cycles, %d outputs, traces agree\n",
+		*cycles, len(f.Outputs))
+	return nil
+}
+
+func cmdTarget(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("target", flag.ContinueOnError)
+	grep := fs.String("grep", "", "only definitions whose name contains this substring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target := reticle.UltraScale()
+	n := 0
+	for _, d := range target.Defs() {
+		if *grep != "" && !strings.Contains(d.Name, *grep) {
+			continue
+		}
+		fmt.Fprint(stdout, d.String())
+		fmt.Fprintln(stdout)
+		n++
+	}
+	fmt.Fprintf(stderr, "%d definitions (target ultrascale)\n", n)
+	return nil
+}

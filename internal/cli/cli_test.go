@@ -1,0 +1,269 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const maccSrc = `
+def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+}
+`
+
+func runCLI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := Run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompileVerilog(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, out, errb := runCLI(t, "", "compile", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"module macc", "DSP48E2", "LOC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileStdin(t *testing.T) {
+	code, out, errb := runCLI(t, maccSrc, "compile", "-emit", "asm", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "dsp_muladdrega_i8") {
+		t.Errorf("asm output:\n%s", out)
+	}
+}
+
+func TestCompileStats(t *testing.T) {
+	code, out, _ := runCLI(t, maccSrc, "compile", "-emit", "stats", "-")
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	for _, want := range []string{"dsps      1", "fmax", "critical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileStages(t *testing.T) {
+	for _, emit := range []string{"ir", "asm", "place", "verilog"} {
+		code, out, errb := runCLI(t, maccSrc, "compile", "-emit", emit, "-")
+		if code != 0 {
+			t.Fatalf("emit %s: exit %d: %s", emit, code, errb)
+		}
+		if out == "" {
+			t.Errorf("emit %s: empty output", emit)
+		}
+	}
+	code, _, _ := runCLI(t, maccSrc, "compile", "-emit", "bogus", "-")
+	if code == 0 {
+		t.Error("bogus emit accepted")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	code, _, errb := runCLI(t, "def broken(", "compile", "-")
+	if code != 1 || errb == "" {
+		t.Errorf("exit %d, stderr %q", code, errb)
+	}
+}
+
+func TestInterp(t *testing.T) {
+	code, out, errb := runCLI(t, maccSrc,
+		"interp", "-set", "a=3", "-set", "b=4", "-set", "c=5", "-set", "en=1",
+		"-cycles", "3", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "cycle 1: y=17") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestInterpBadSet(t *testing.T) {
+	if code, _, _ := runCLI(t, maccSrc, "interp", "-set", "nope=1", "-"); code == 0 {
+		t.Error("unknown input accepted")
+	}
+	if code, _, _ := runCLI(t, maccSrc, "interp", "-set", "a=x", "-"); code == 0 {
+		t.Error("bad value accepted")
+	}
+	if code, _, _ := runCLI(t, maccSrc, "interp", "-set", "noequals", "-"); code == 0 {
+		t.Error("malformed -set accepted")
+	}
+}
+
+func TestInterpVCD(t *testing.T) {
+	vcdPath := filepath.Join(t.TempDir(), "wave.vcd")
+	code, _, errb := runCLI(t, maccSrc,
+		"interp", "-set", "a=1,2", "-set", "en=1", "-vcd", vcdPath, "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	data, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions $end") {
+		t.Errorf("vcd content:\n%s", data)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	asmSrc := `
+def f(a:i8, b:i8, c:i8) -> (y:i8) {
+    y:i8 = dsp_muladd_i8(a, b, c) @dsp(0, 0);
+}
+`
+	code, out, errb := runCLI(t, asmSrc, "expand", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "mul(") || !strings.Contains(out, "add(") {
+		t.Errorf("expansion:\n%s", out)
+	}
+}
+
+func TestBehav(t *testing.T) {
+	code, out, _ := runCLI(t, maccSrc, "behav", "-")
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	if !strings.Contains(out, "assign t0 = a * b;") {
+		t.Errorf("behavioral output:\n%s", out)
+	}
+	code, out, _ = runCLI(t, maccSrc, "behav", "-hint", "-")
+	if code != 0 || !strings.Contains(out, "use_dsp") {
+		t.Errorf("hint output:\n%s", out)
+	}
+}
+
+func TestTarget(t *testing.T) {
+	code, out, errb := runCLI(t, "", "target", "-grep", "muladd_i8")
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	if !strings.Contains(out, "dsp_muladd_i8[dsp, 1,") {
+		t.Errorf("target output:\n%s", out)
+	}
+	if !strings.Contains(errb, "definitions") {
+		t.Errorf("summary missing: %q", errb)
+	}
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "help"); code != 0 {
+		t.Error("help failed")
+	}
+	if code, _, errb := runCLI(t, "", "frobnicate"); code != 2 || !strings.Contains(errb, "unknown command") {
+		t.Error("unknown command handling")
+	}
+	if code, _, _ := runCLI(t, ""); code != 2 {
+		t.Error("no args handling")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "compile", "/does/not/exist.ret"); code != 1 {
+		t.Error("missing file accepted")
+	}
+	if code, _, _ := runCLI(t, "", "compile"); code != 1 {
+		t.Error("no file accepted")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	code, out, errb := runCLI(t, maccSrc, "verify", "-cycles", "20", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "verified: 20 cycles") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestVerifyRejectsBadProgram(t *testing.T) {
+	if code, _, _ := runCLI(t, "def nope(", "verify", "-"); code != 1 {
+		t.Error("bad program accepted")
+	}
+}
+
+func TestOptVectorize(t *testing.T) {
+	src, err := os.ReadFile("../../examples/programs/vadd8.ret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, string(src), "opt", "-vectorize", "4", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "i8<4>") {
+		t.Errorf("no vector ops in output:\n%s", out)
+	}
+}
+
+func TestOptCleansDeadCode(t *testing.T) {
+	src := `
+def d(a:i8, b:i8) -> (y:i8) {
+    dead:i8 = mul(a, b) @??;
+    five:i8 = const[5];
+    y:i8 = mul(a, five) @??;
+}
+`
+	code, out, _ := runCLI(t, src, "opt", "-")
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	if strings.Contains(out, "dead") {
+		t.Errorf("dead code survived:\n%s", out)
+	}
+	// mul by const 5 is not a power of two: must survive as mul or shift-add.
+	if !strings.Contains(out, "mul(") {
+		t.Errorf("live mul removed:\n%s", out)
+	}
+}
+
+func TestOptBindAndPipeline(t *testing.T) {
+	code, out, errb := runCLI(t, maccSrc, "opt", "-pipeline", "-enable", "en", "-bind", "lut", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "@lut") || strings.Contains(out, "@dsp") {
+		t.Errorf("binding wrong:\n%s", out)
+	}
+	if code, _, _ := runCLI(t, maccSrc, "opt", "-bind", "bogus", "-"); code != 1 {
+		t.Error("bogus bind accepted")
+	}
+}
+
+func TestSampleProgramsCompileAndVerify(t *testing.T) {
+	for _, name := range []string{"macc.ret", "fig6.ret", "counter.ret", "vadd8.ret"} {
+		path := "../../examples/programs/" + name
+		if code, _, errb := runCLI(t, "", "compile", "-emit", "stats", path); code != 0 {
+			t.Errorf("%s: compile failed: %s", name, errb)
+		}
+		if code, _, errb := runCLI(t, "", "verify", "-cycles", "10", path); code != 0 {
+			t.Errorf("%s: verify failed: %s", name, errb)
+		}
+	}
+}

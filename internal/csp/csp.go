@@ -1,0 +1,283 @@
+// Package csp implements a finite-domain constraint solver: backtracking
+// search with minimum-remaining-values variable ordering and forward
+// checking, plus a special-cased all-different propagator.
+//
+// It stands in for the Z3 solver the paper uses for instruction placement
+// (§5.3). Placement only ever asks for: domain membership (a coordinate
+// must name a slice of the right resource type), bounds, relative-offset
+// equalities between coordinates, and all-different over occupied slices —
+// exactly the theory a finite-domain solver decides.
+package csp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Var identifies a problem variable.
+type Var int
+
+// Binary is a directed binary constraint: when `from` is assigned value v,
+// values w of `to` with Allow(v, w) == false are pruned.
+type binary struct {
+	to    Var
+	allow func(v, w int) bool
+}
+
+// Problem is a constraint satisfaction problem under construction.
+// The zero value is an empty problem ready for use.
+type Problem struct {
+	names   []string
+	domains []*domain
+	// adj[v] lists binary constraints propagated when v is assigned.
+	adj [][]binary
+	// groups lists all-different groups; member[v] lists group indices.
+	groups [][]Var
+	member [][]int
+
+	steps    int
+	maxSteps int
+}
+
+// NewVar adds a variable with the given domain (copied). Domains keep
+// their given order; the solver tries values in that order, so callers
+// control packing direction.
+func (p *Problem) NewVar(name string, values []int) Var {
+	d := newDomain(values)
+	p.names = append(p.names, name)
+	p.domains = append(p.domains, d)
+	p.adj = append(p.adj, nil)
+	p.member = append(p.member, nil)
+	return Var(len(p.domains) - 1)
+}
+
+// AddBinary adds a constraint allow(a, b) that must hold between the two
+// variables' values. Propagation runs in both directions.
+func (p *Problem) AddBinary(a, b Var, allow func(av, bv int) bool) {
+	p.adj[a] = append(p.adj[a], binary{to: b, allow: func(v, w int) bool { return allow(v, w) }})
+	p.adj[b] = append(p.adj[b], binary{to: a, allow: func(v, w int) bool { return allow(w, v) }})
+}
+
+// AddAllDifferent requires all listed variables to take distinct values.
+func (p *Problem) AddAllDifferent(vars []Var) {
+	gi := len(p.groups)
+	p.groups = append(p.groups, append([]Var(nil), vars...))
+	for _, v := range vars {
+		p.member[v] = append(p.member[v], gi)
+	}
+}
+
+// SetMaxSteps bounds the number of search steps (assignments tried).
+// Zero means the default of 2 million.
+func (p *Problem) SetMaxSteps(n int) { p.maxSteps = n }
+
+// Steps reports how many assignments the last Solve attempted.
+func (p *Problem) Steps() int { return p.steps }
+
+// ErrUnsat is returned when the problem has no solution.
+type ErrUnsat struct{ Reason string }
+
+func (e *ErrUnsat) Error() string { return "csp: unsatisfiable: " + e.Reason }
+
+// ErrLimit is returned when the step budget is exhausted.
+type ErrLimit struct{ Steps int }
+
+func (e *ErrLimit) Error() string {
+	return fmt.Sprintf("csp: step limit reached after %d steps", e.Steps)
+}
+
+// Solve finds an assignment satisfying all constraints, or fails with
+// *ErrUnsat / *ErrLimit. The search is deterministic.
+func (p *Problem) Solve() ([]int, error) {
+	if p.maxSteps == 0 {
+		p.maxSteps = 2_000_000
+	}
+	p.steps = 0
+	// Empty domains are unsatisfiable before search starts.
+	for i, d := range p.domains {
+		if d.size == 0 {
+			return nil, &ErrUnsat{Reason: fmt.Sprintf("variable %s has empty domain", p.names[i])}
+		}
+	}
+	assign := make([]int, len(p.domains))
+	assigned := make([]bool, len(p.domains))
+	var trail []trailEntry
+	if p.search(assign, assigned, &trail) {
+		return assign, nil
+	}
+	if p.steps >= p.maxSteps {
+		return nil, &ErrLimit{Steps: p.steps}
+	}
+	return nil, &ErrUnsat{Reason: "search exhausted"}
+}
+
+type trailEntry struct {
+	v   Var
+	val int
+}
+
+func (p *Problem) search(assign []int, assigned []bool, trail *[]trailEntry) bool {
+	v, ok := p.pickVar(assigned)
+	if !ok {
+		return true // all assigned
+	}
+	d := p.domains[v]
+	// Snapshot the live values: assignment mutates domains underneath us.
+	vals := make([]int, d.size)
+	copy(vals, d.vals[:d.size])
+	sort.Ints(vals) // deterministic low-first packing regardless of pruning order
+
+	for _, val := range vals {
+		if p.steps >= p.maxSteps {
+			return false
+		}
+		p.steps++
+		if !d.has(val) {
+			continue
+		}
+		mark := len(*trail)
+		assign[v] = val
+		assigned[v] = true
+		if p.propagate(v, val, assigned, trail) {
+			if p.search(assign, assigned, trail) {
+				return true
+			}
+		}
+		assigned[v] = false
+		p.undo(trail, mark)
+	}
+	return false
+}
+
+// pickVar selects the unassigned variable with the smallest live domain.
+func (p *Problem) pickVar(assigned []bool) (Var, bool) {
+	best := -1
+	bestSize := 1 << 62
+	for i := range p.domains {
+		if assigned[i] {
+			continue
+		}
+		if s := p.domains[i].size; s < bestSize {
+			best, bestSize = i, s
+			if s <= 1 {
+				break
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return Var(best), true
+}
+
+// propagate forward-checks after assigning val to v. It returns false on a
+// domain wipeout.
+func (p *Problem) propagate(v Var, val int, assigned []bool, trail *[]trailEntry) bool {
+	// All-different groups: remove val from peers.
+	for _, gi := range p.member[v] {
+		for _, w := range p.groups[gi] {
+			if w == v {
+				continue
+			}
+			if assigned[w] {
+				continue // consistency with assigned peers was enforced when they were assigned
+			}
+			if p.remove(w, val, trail) && p.domains[w].size == 0 {
+				return false
+			}
+		}
+	}
+	// Binary constraints: filter neighbor domains.
+	for _, bc := range p.adj[v] {
+		w := bc.to
+		if assigned[w] {
+			continue
+		}
+		d := p.domains[w]
+		// Iterate backwards over the live prefix so removals are safe.
+		for i := d.size - 1; i >= 0; i-- {
+			if !bc.allow(val, d.vals[i]) {
+				p.removeAt(w, i, trail)
+			}
+		}
+		if d.size == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Problem) remove(v Var, val int, trail *[]trailEntry) bool {
+	d := p.domains[v]
+	i, ok := d.idx[val]
+	if !ok || i >= d.size {
+		return false
+	}
+	p.removeAt(v, i, trail)
+	return true
+}
+
+func (p *Problem) removeAt(v Var, i int, trail *[]trailEntry) {
+	d := p.domains[v]
+	val := d.vals[i]
+	d.swapOut(i)
+	*trail = append(*trail, trailEntry{v: v, val: val})
+}
+
+func (p *Problem) undo(trail *[]trailEntry, mark int) {
+	t := *trail
+	for len(t) > mark {
+		e := t[len(t)-1]
+		t = t[:len(t)-1]
+		p.domains[e.v].restore(e.val)
+	}
+	*trail = t
+}
+
+// domain is a set of ints with O(1) removal and restoration via the
+// swap-to-back trick.
+type domain struct {
+	vals []int
+	idx  map[int]int
+	size int
+}
+
+func newDomain(values []int) *domain {
+	d := &domain{
+		vals: append([]int(nil), values...),
+		idx:  make(map[int]int, len(values)),
+		size: len(values),
+	}
+	for i, v := range d.vals {
+		d.idx[v] = i
+	}
+	return d
+}
+
+func (d *domain) has(v int) bool {
+	i, ok := d.idx[v]
+	return ok && i < d.size
+}
+
+// swapOut moves the value at live index i past the live boundary.
+func (d *domain) swapOut(i int) {
+	last := d.size - 1
+	a, b := d.vals[i], d.vals[last]
+	d.vals[i], d.vals[last] = b, a
+	d.idx[a], d.idx[b] = last, i
+	d.size--
+}
+
+// restore brings back the most recently removed value val. Restorations
+// happen in reverse removal order (LIFO trail), so val sits exactly at
+// index d.size.
+func (d *domain) restore(val int) {
+	if d.vals[d.size] != val {
+		// Defensive: locate and swap into position.
+		i := d.idx[val]
+		a, b := d.vals[d.size], d.vals[i]
+		d.vals[d.size], d.vals[i] = b, a
+		d.idx[a], d.idx[b] = i, d.size
+	}
+	d.size++
+}

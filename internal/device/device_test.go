@@ -1,0 +1,101 @@
+package device
+
+import (
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func TestXCZU3EGMatchesPaper(t *testing.T) {
+	d := XCZU3EG()
+	if got := d.Capacity(ir.ResDsp); got != 360 {
+		t.Errorf("DSP slices = %d, want 360 (paper §7)", got)
+	}
+	if got := d.LutCapacity(); got != 71040 {
+		t.Errorf("LUTs = %d, want ~71k", got)
+	}
+	if d.LutsPerSlice != 8 {
+		t.Errorf("LUTs per slice = %d, want 8 (UltraScale+)", d.LutsPerSlice)
+	}
+}
+
+func TestStandardInterleavesDSPColumns(t *testing.T) {
+	d, err := Standard("t", 6, 2, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCols(ir.ResDsp) != 2 || d.NumCols(ir.ResLut) != 6 {
+		t.Fatalf("cols = %d dsp, %d lut", d.NumCols(ir.ResDsp), d.NumCols(ir.ResLut))
+	}
+	g0, err := d.GlobalX(ir.ResDsp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := d.GlobalX(ir.ResDsp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0 == 0 || g1 == g0+1 {
+		t.Errorf("DSP columns not spread: global %d, %d", g0, g1)
+	}
+}
+
+func TestSliceIDRoundTrip(t *testing.T) {
+	d, err := Standard("t", 4, 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < d.NumCols(ir.ResDsp); x++ {
+		for y := 0; y < d.Height; y++ {
+			id, err := d.SliceID(ir.ResDsp, x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gx, gy := d.SliceCoords(id)
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, id, gx, gy)
+			}
+		}
+	}
+}
+
+func TestSliceIDBounds(t *testing.T) {
+	d, err := Standard("t", 4, 2, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.SliceID(ir.ResDsp, 2, 0); err == nil {
+		t.Error("x out of range accepted")
+	}
+	if _, err := d.SliceID(ir.ResDsp, 0, 16); err == nil {
+		t.Error("y out of range accepted")
+	}
+	if _, err := d.SliceID(ir.ResLut, -1, 0); err == nil {
+		t.Error("negative x accepted")
+	}
+	if _, err := d.GlobalX(ir.ResDsp, 9); err == nil {
+		t.Error("GlobalX out of range accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("bad", 0, 8, []Column{{Prim: ir.ResLut}}); err == nil {
+		t.Error("zero height accepted")
+	}
+	if _, err := New("bad", 4, 0, []Column{{Prim: ir.ResLut}}); err == nil {
+		t.Error("zero luts/slice accepted")
+	}
+	if _, err := New("bad", 4, 8, []Column{{Prim: ir.ResAny}}); err == nil {
+		t.Error("wildcard column accepted")
+	}
+	if _, err := Standard("bad", 0, 0, 4, 8); err == nil {
+		t.Error("empty device accepted")
+	}
+}
+
+func TestStringMentionsCapacity(t *testing.T) {
+	s := XCZU3EG().String()
+	if s == "" {
+		t.Error("empty String")
+	}
+}

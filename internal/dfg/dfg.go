@@ -1,0 +1,190 @@
+// Package dfg builds dataflow graphs from intermediate-language functions
+// and partitions them into trees for instruction selection (§5.1 of the
+// paper). Nodes are instructions and function inputs; edges are
+// definition–use relationships.
+//
+// The partition cuts the graph at root nodes. A node is a root when its
+// value must be materialized: it defines a function output, its fanout
+// differs from one, or it is a register (registers both break cycles and
+// anchor stateful patterns such as add_reg).
+package dfg
+
+import (
+	"fmt"
+
+	"reticle/internal/ir"
+)
+
+// NodeKind discriminates graph nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindInput NodeKind = iota
+	KindInstr
+)
+
+// Node is one vertex of the dataflow graph.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Name  string    // variable name: input name or instruction destination
+	Type  ir.Type   // value type
+	Instr *ir.Instr // nil for inputs; points into the source function's body
+	Index int       // body index for instruction nodes, -1 for inputs
+	Args  []*Node   // operand nodes, in argument order
+
+	fanout   int  // number of instruction arguments consuming this node
+	isOutput bool // defines a function output port
+}
+
+// Fanout returns the number of instruction arguments that consume the node.
+func (n *Node) Fanout() int { return n.fanout }
+
+// IsOutput reports whether the node defines a function output.
+func (n *Node) IsOutput() bool { return n.isOutput }
+
+// IsWire reports whether the node is a wire instruction.
+func (n *Node) IsWire() bool { return n.Kind == KindInstr && n.Instr.Op.IsWire() }
+
+// IsReg reports whether the node is a register instruction.
+func (n *Node) IsReg() bool { return n.Kind == KindInstr && n.Instr.Op.IsStateful() }
+
+// Graph is the dataflow graph of one function.
+type Graph struct {
+	Fn     *ir.Func
+	Nodes  []*Node // inputs first, then instructions in body order
+	byName map[string]*Node
+}
+
+// Build constructs the dataflow graph. The function must be well formed;
+// Build rejects ill-formed programs (§6.1) so downstream passes can assume
+// trees exist.
+func Build(f *ir.Func) (*Graph, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, err
+	}
+	if _, _, err := ir.CheckWellFormed(f); err != nil {
+		return nil, err
+	}
+	g := &Graph{Fn: f, byName: make(map[string]*Node)}
+	for _, p := range f.Inputs {
+		n := &Node{ID: len(g.Nodes), Kind: KindInput, Name: p.Name, Type: p.Type, Index: -1}
+		g.Nodes = append(g.Nodes, n)
+		g.byName[p.Name] = n
+	}
+	for i := range f.Body {
+		in := &f.Body[i]
+		n := &Node{ID: len(g.Nodes), Kind: KindInstr, Name: in.Dest, Type: in.Type, Instr: in, Index: i}
+		g.Nodes = append(g.Nodes, n)
+		g.byName[in.Dest] = n
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != KindInstr {
+			continue
+		}
+		for _, a := range n.Instr.Args {
+			arg, ok := g.byName[a]
+			if !ok {
+				return nil, fmt.Errorf("dfg: %s: argument %q undefined", n.Name, a)
+			}
+			n.Args = append(n.Args, arg)
+			arg.fanout++
+		}
+	}
+	for _, p := range f.Outputs {
+		if n, ok := g.byName[p.Name]; ok {
+			n.isOutput = true
+		}
+	}
+	return g, nil
+}
+
+// Lookup returns the node defining the named variable.
+func (g *Graph) Lookup(name string) (*Node, bool) {
+	n, ok := g.byName[name]
+	return n, ok
+}
+
+// IsRoot reports whether the node anchors a selection tree.
+func (g *Graph) IsRoot(n *Node) bool {
+	if n.Kind != KindInstr {
+		return false
+	}
+	return n.isOutput || n.fanout != 1 || n.IsReg()
+}
+
+// Tree is one selection tree: a root instruction node and the set of nodes
+// reachable from it without crossing another root or an input.
+type Tree struct {
+	Root *Node
+	// Interior holds every non-root node belonging to this tree, keyed by
+	// node ID. Leaves (inputs and other roots) are not included.
+	Interior map[int]*Node
+}
+
+// Contains reports whether the node is the root or interior to the tree.
+func (t *Tree) Contains(n *Node) bool {
+	if n == t.Root {
+		return true
+	}
+	_, ok := t.Interior[n.ID]
+	return ok
+}
+
+// Size returns the number of instruction nodes in the tree.
+func (t *Tree) Size() int { return 1 + len(t.Interior) }
+
+// Partition splits the graph into trees, one per root, in body order.
+// Every instruction node belongs to exactly one tree.
+func (g *Graph) Partition() []*Tree {
+	var trees []*Tree
+	for _, n := range g.Nodes {
+		if !g.IsRoot(n) {
+			continue
+		}
+		t := &Tree{Root: n, Interior: make(map[int]*Node)}
+		g.grow(t, n)
+		trees = append(trees, t)
+	}
+	return trees
+}
+
+func (g *Graph) grow(t *Tree, n *Node) {
+	for _, a := range n.Args {
+		if a.Kind != KindInstr || g.IsRoot(a) {
+			continue // leaf: input or another tree's root
+		}
+		if _, seen := t.Interior[a.ID]; seen {
+			continue
+		}
+		t.Interior[a.ID] = a
+		g.grow(t, a)
+	}
+}
+
+// CheckPartition verifies the partition invariant: every instruction node
+// appears in exactly one tree. It exists for tests and debugging.
+func CheckPartition(g *Graph, trees []*Tree) error {
+	seen := make(map[int]int)
+	for ti, t := range trees {
+		seen[t.Root.ID]++
+		for id := range t.Interior {
+			seen[id]++
+		}
+		_ = ti
+	}
+	for _, n := range g.Nodes {
+		if n.Kind != KindInstr {
+			continue
+		}
+		switch seen[n.ID] {
+		case 1:
+		case 0:
+			return fmt.Errorf("dfg: node %s missing from partition", n.Name)
+		default:
+			return fmt.Errorf("dfg: node %s appears in %d trees", n.Name, seen[n.ID])
+		}
+	}
+	return nil
+}

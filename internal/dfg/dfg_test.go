@@ -1,0 +1,227 @@
+package dfg
+
+import (
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func mustGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildSimple(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8, b:i8, c:i8) -> (t1:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+}
+`)
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	t0, _ := g.Lookup("t0")
+	t1, _ := g.Lookup("t1")
+	a, _ := g.Lookup("a")
+	if t0.Fanout() != 1 || a.Fanout() != 1 {
+		t.Errorf("fanouts: t0=%d a=%d", t0.Fanout(), a.Fanout())
+	}
+	if !t1.IsOutput() || t0.IsOutput() {
+		t.Error("output marking wrong")
+	}
+	if g.IsRoot(t0) {
+		t.Error("t0 (fanout 1, not output) should not be a root")
+	}
+	if !g.IsRoot(t1) {
+		t.Error("t1 (output) must be a root")
+	}
+}
+
+func TestPartitionMulAddIsOneTree(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8, b:i8, c:i8) -> (t1:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+}
+`)
+	trees := g.Partition()
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	if trees[0].Size() != 2 {
+		t.Errorf("tree size = %d", trees[0].Size())
+	}
+	if err := CheckPartition(g, trees); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionFanoutCut(t *testing.T) {
+	// t0 feeds both t1 and t2: it must be its own tree.
+	g := mustGraph(t, `
+def f(a:i8, b:i8) -> (t1:i8, t2:i8) {
+    t0:i8 = add(a, b) @??;
+    t1:i8 = mul(t0, a) @??;
+    t2:i8 = mul(t0, b) @??;
+}
+`)
+	trees := g.Partition()
+	if len(trees) != 3 {
+		t.Fatalf("trees = %d, want 3", len(trees))
+	}
+	for _, tr := range trees {
+		if tr.Size() != 1 {
+			t.Errorf("tree at %s has size %d", tr.Root.Name, tr.Size())
+		}
+	}
+	if err := CheckPartition(g, trees); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionRegIsRoot(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8, b:i8, en:bool) -> (y:i8) {
+    t0:i8 = add(a, b) @??;
+    y:i8 = reg[0](t0, en) @??;
+}
+`)
+	trees := g.Partition()
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	tr := trees[0]
+	if !tr.Root.IsReg() {
+		t.Error("root is not the reg")
+	}
+	if tr.Size() != 2 {
+		t.Errorf("add_reg tree size = %d, want 2 (reg + add)", tr.Size())
+	}
+}
+
+func TestPartitionCycleThroughReg(t *testing.T) {
+	g := mustGraph(t, `
+def fig12b(x:bool) -> (t3:i8) {
+    t0:bool = const[1];
+    t1:i8 = const[4];
+    t2:i8 = add(t3, t1) @??;
+    t3:i8 = reg[0](t2, t0) @??;
+}
+`)
+	trees := g.Partition()
+	if err := CheckPartition(g, trees); err != nil {
+		t.Fatal(err)
+	}
+	// t3 is a reg root; its tree contains the add (fanout-1) and const t1.
+	var regTree *Tree
+	for _, tr := range trees {
+		if tr.Root.Name == "t3" {
+			regTree = tr
+		}
+	}
+	if regTree == nil {
+		t.Fatal("no tree rooted at t3")
+	}
+	t2, _ := g.Lookup("t2")
+	if !regTree.Contains(t2) {
+		t.Error("t2 not interior to the reg tree")
+	}
+	// The cycle edge t3 -> t2 terminates at the root boundary, not a loop.
+	t3, _ := g.Lookup("t3")
+	if regTree.Interior[t3.ID] != nil {
+		t.Error("root also interior")
+	}
+}
+
+func TestBuildRejectsIllFormed(t *testing.T) {
+	f, err := ir.Parse(`
+def bad(x:bool) -> (t1:i8) {
+    t0:i8 = const[4];
+    t1:i8 = add(t1, t0) @??;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f); err == nil {
+		t.Error("Build accepted combinational cycle")
+	}
+}
+
+func TestWireNodesJoinConsumerTree(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8) -> (y:i8) {
+    t0:i8 = const[5];
+    t1:i8 = sll[1](t0);
+    y:i8 = add(t1, a) @??;
+}
+`)
+	trees := g.Partition()
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d", len(trees))
+	}
+	if trees[0].Size() != 3 {
+		t.Errorf("tree size = %d, want 3", trees[0].Size())
+	}
+}
+
+func TestSharedWireNodeIsItsOwnTree(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8) -> (y:i8, z:i8) {
+    t0:i8 = const[5];
+    y:i8 = add(t0, a) @??;
+    z:i8 = mul(t0, a) @??;
+}
+`)
+	trees := g.Partition()
+	if len(trees) != 3 {
+		t.Fatalf("trees = %d, want 3 (const + 2 compute)", len(trees))
+	}
+	if err := CheckPartition(g, trees); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutputWithInternalUseIsRoot(t *testing.T) {
+	// y is an output but also feeds t1: it must still be a root.
+	g := mustGraph(t, `
+def f(a:i8, b:i8) -> (y:i8, t1:i8) {
+    y:i8 = add(a, b) @??;
+    t1:i8 = mul(y, a) @??;
+}
+`)
+	y, _ := g.Lookup("y")
+	if !g.IsRoot(y) {
+		t.Error("output with one use not a root")
+	}
+}
+
+func TestNodePredicates(t *testing.T) {
+	g := mustGraph(t, `
+def f(a:i8, en:bool) -> (y:i8) {
+    t0:i8 = sll[1](a);
+    y:i8 = reg[0](t0, en) @??;
+}
+`)
+	t0, _ := g.Lookup("t0")
+	y, _ := g.Lookup("y")
+	a, _ := g.Lookup("a")
+	if !t0.IsWire() || t0.IsReg() {
+		t.Error("t0 predicates wrong")
+	}
+	if y.IsWire() || !y.IsReg() {
+		t.Error("y predicates wrong")
+	}
+	if a.Kind != KindInput || g.IsRoot(a) {
+		t.Error("input misclassified")
+	}
+}

@@ -1,0 +1,269 @@
+package interp
+
+import (
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func mustParse(t *testing.T, src string) *ir.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func i8(v int64) ir.Value   { return ir.ScalarValue(ir.Int(8), v) }
+func boolv(b bool) ir.Value { return ir.BoolValue(b) }
+
+func TestCombinationalAdd(t *testing.T) {
+	fn := mustParse(t, `def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }`)
+	out, err := Run(fn, Trace{
+		{"a": i8(1), "b": i8(2)},
+		{"a": i8(10), "b": i8(-3)},
+		{"a": i8(127), "b": i8(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 7, -128}
+	for i, w := range want {
+		if got := out[i]["y"].Scalar(); got != w {
+			t.Errorf("cycle %d: y = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestCounter runs the paper's Figure 12b program: an accumulator that adds
+// 4 each cycle. Outputs lag by construction: the reg output is visible the
+// cycle after the add.
+func TestCounter(t *testing.T) {
+	fn := mustParse(t, `
+def fig12b(x:bool) -> (t3:i8) {
+    t0:bool = const[1];
+    t1:i8 = const[4];
+    t2:i8 = add(t3, t1) @??;
+    t3:i8 = reg[0](t2, t0) @??;
+}
+`)
+	in := make(Trace, 5)
+	for i := range in {
+		in[i] = Step{"x": boolv(false)}
+	}
+	out, err := Run(fn, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 0 observes the initial value 0; each subsequent cycle +4.
+	want := []int64{0, 4, 8, 12, 16}
+	for i, w := range want {
+		if got := out[i]["t3"].Scalar(); got != w {
+			t.Errorf("cycle %d: t3 = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegEnableHolds(t *testing.T) {
+	fn := mustParse(t, `def r(a:i8, en:bool) -> (c:i8) { c:i8 = reg[0](a, en) @??; }`)
+	out, err := Run(fn, Trace{
+		{"a": i8(5), "en": boolv(false)},
+		{"a": i8(5), "en": boolv(true)},
+		{"a": i8(9), "en": boolv(false)},
+		{"a": i8(9), "en": boolv(false)},
+		{"a": i8(1), "en": boolv(true)},
+		{"a": i8(0), "en": boolv(false)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "will produce a 0 as long as b is False ... once b is True, the value
+	// of a will be bound to c every cycle" (§4.1) — with a one-cycle lag.
+	want := []int64{0, 0, 5, 5, 5, 1}
+	for i, w := range want {
+		if got := out[i]["c"].Scalar(); got != w {
+			t.Errorf("cycle %d: c = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRegToRegShiftChain(t *testing.T) {
+	// Two registers in series: values move one stage per cycle, and the
+	// second stage must see the first stage's *old* value.
+	fn := mustParse(t, `
+def chain(a:i8, en:bool) -> (s2:i8) {
+    s1:i8 = reg[0](a, en) @??;
+    s2:i8 = reg[0](s1, en) @??;
+}
+`)
+	out, err := Run(fn, Trace{
+		{"a": i8(1), "en": boolv(true)},
+		{"a": i8(2), "en": boolv(true)},
+		{"a": i8(3), "en": boolv(true)},
+		{"a": i8(4), "en": boolv(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, 1, 2}
+	for i, w := range want {
+		if got := out[i]["s2"].Scalar(); got != w {
+			t.Errorf("cycle %d: s2 = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMachineStepAndPeek(t *testing.T) {
+	fn := mustParse(t, `def f(a:i8, b:i8) -> (y:i8) {
+        t0:i8 = mul(a, b) @??;
+        y:i8 = add(t0, a) @??;
+    }`)
+	m, err := New(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Step(Step{"a": i8(3), "b": i8(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"].Scalar() != 15 {
+		t.Errorf("y = %d", out["y"].Scalar())
+	}
+	if v, ok := m.Peek("t0"); !ok || v.Scalar() != 12 {
+		t.Errorf("Peek(t0) = %v, %v", v, ok)
+	}
+	if _, ok := m.Peek("nothing"); ok {
+		t.Error("Peek of undefined succeeded")
+	}
+}
+
+func TestRejectsIllFormed(t *testing.T) {
+	src := `def f(x:bool) -> (t1:i8) {
+        t0:i8 = const[4];
+        t1:i8 = add(t1, t0) @??;
+    }`
+	fn := mustParse(t, src)
+	if _, err := New(fn); err == nil {
+		t.Error("interpreter accepted combinational cycle")
+	}
+}
+
+func TestMissingInput(t *testing.T) {
+	fn := mustParse(t, `def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }`)
+	m, err := New(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(Step{"a": i8(1)}); err == nil {
+		t.Error("Step with missing input succeeded")
+	}
+}
+
+func TestWrongInputType(t *testing.T) {
+	fn := mustParse(t, `def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }`)
+	m, err := New(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(Step{"a": i8(1), "b": ir.ScalarValue(ir.Int(16), 2)}); err == nil {
+		t.Error("Step with mistyped input succeeded")
+	}
+}
+
+func TestVectorPipeline(t *testing.T) {
+	fn := mustParse(t, `
+def vpipe(a:i8<4>, b:i8<4>, en:bool) -> (y:i8<4>) {
+    t0:i8<4> = add(a, b) @dsp;
+    y:i8<4> = reg[0](t0, en) @dsp;
+}
+`)
+	v4 := ir.Vector(8, 4)
+	out, err := Run(fn, Trace{
+		{"a": ir.VectorValue(v4, 1, 2, 3, 4), "b": ir.VectorValue(v4, 10, 10, 10, 10), "en": boolv(true)},
+		{"a": ir.VectorValue(v4, 0, 0, 0, 0), "b": ir.VectorValue(v4, 0, 0, 0, 0), "en": boolv(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["y"].Lane(0) != 0 {
+		t.Errorf("cycle 0 should see initial zeros, got %s", out[0]["y"])
+	}
+	got := out[1]["y"]
+	want := ir.VectorValue(v4, 11, 12, 13, 14)
+	if !got.Equal(want) {
+		t.Errorf("cycle 1: y = %s, want %s", got, want)
+	}
+}
+
+func TestRunResets(t *testing.T) {
+	fn := mustParse(t, `
+def acc(en:bool) -> (t3:i8) {
+    t1:i8 = const[1];
+    t2:i8 = add(t3, t1) @??;
+    t3:i8 = reg[0](t2, en) @??;
+}
+`)
+	m, err := New(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Trace{{"en": boolv(true)}, {"en": boolv(true)}}
+	out1, err := m.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := m.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(out1, out2) {
+		t.Error("second Run differs: state leaked between runs")
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := Trace{{"x": i8(1)}}
+	b := Trace{{"x": i8(1)}}
+	c := Trace{{"x": i8(2)}}
+	d := Trace{{"y": i8(1)}}
+	if !Equal(a, b) || Equal(a, c) || Equal(a, d) || Equal(a, Trace{}) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+func TestStepClone(t *testing.T) {
+	s := Step{"x": i8(1)}
+	c := s.Clone()
+	c["x"] = i8(2)
+	if s["x"].Scalar() != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+// TestMuxFSM exercises a two-state machine: out toggles when go is high.
+func TestMuxFSM(t *testing.T) {
+	fn := mustParse(t, `
+def toggle(go:bool) -> (state:bool) {
+    one:bool = const[1];
+    flipped:bool = not(state) @lut;
+    nextv:bool = mux(go, flipped, state) @lut;
+    state:bool = reg[0](nextv, one) @lut;
+}
+`)
+	out, err := Run(fn, Trace{
+		{"go": boolv(true)},
+		{"go": boolv(false)},
+		{"go": boolv(true)},
+		{"go": boolv(true)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if got := out[i]["state"].Bool(); got != w {
+			t.Errorf("cycle %d: state = %v, want %v", i, got, w)
+		}
+	}
+}

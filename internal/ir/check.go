@@ -1,0 +1,203 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Check validates a function: unique names, resolved arguments, per-op type
+// rules, and attribute shapes. It does not check well-formedness (absence of
+// combinational cycles); use CheckWellFormed for that.
+func Check(f *Func) error {
+	if f.Name == "" {
+		return fmt.Errorf("ir: function has no name")
+	}
+	if len(f.Outputs) == 0 {
+		return fmt.Errorf("ir: function %s has no outputs", f.Name)
+	}
+	types := make(map[string]Type, len(f.Inputs)+len(f.Body))
+	for _, p := range f.Inputs {
+		if _, dup := types[p.Name]; dup {
+			return fmt.Errorf("ir: function %s: duplicate input %q", f.Name, p.Name)
+		}
+		types[p.Name] = p.Type
+	}
+	for _, in := range f.Body {
+		if _, dup := types[in.Dest]; dup {
+			return fmt.Errorf("ir: function %s: %q defined more than once", f.Name, in.Dest)
+		}
+		types[in.Dest] = in.Type
+	}
+	for i, in := range f.Body {
+		if err := checkInstr(f, in, types); err != nil {
+			return fmt.Errorf("ir: function %s: instruction %d (%s): %w", f.Name, i, in.Dest, err)
+		}
+	}
+	for _, out := range f.Outputs {
+		t, ok := types[out.Name]
+		if !ok {
+			return fmt.Errorf("ir: function %s: output %q is never defined", f.Name, out.Name)
+		}
+		if t != out.Type {
+			return fmt.Errorf("ir: function %s: output %q has type %s, declared %s",
+				f.Name, out.Name, t, out.Type)
+		}
+	}
+	return nil
+}
+
+func checkInstr(f *Func, in Instr, types map[string]Type) error {
+	if want := in.Op.Arity(); want >= 0 && len(in.Args) != want {
+		return fmt.Errorf("%s takes %d arguments, got %d", in.Op, want, len(in.Args))
+	}
+	argT := make([]Type, len(in.Args))
+	for i, a := range in.Args {
+		t, ok := types[a]
+		if !ok {
+			return fmt.Errorf("argument %q is undefined", a)
+		}
+		argT[i] = t
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul:
+		if in.Type.IsBool() {
+			return fmt.Errorf("%s result cannot be bool", in.Op)
+		}
+		return wantSameTypes(in, argT, in.Type, in.Type)
+	case OpAnd, OpOr, OpXor:
+		return wantSameTypes(in, argT, in.Type, in.Type)
+	case OpNot:
+		return wantSameTypes(in, argT, in.Type)
+	case OpEq, OpNeq, OpLt, OpGt, OpLe, OpGe:
+		if !in.Type.IsBool() {
+			return fmt.Errorf("%s result must be bool, got %s", in.Op, in.Type)
+		}
+		if argT[0] != argT[1] {
+			return fmt.Errorf("%s operands differ: %s vs %s", in.Op, argT[0], argT[1])
+		}
+		if argT[0].IsVector() {
+			return fmt.Errorf("%s does not apply to vectors", in.Op)
+		}
+		return nil
+	case OpMux:
+		if !argT[0].IsBool() {
+			return fmt.Errorf("mux condition must be bool, got %s", argT[0])
+		}
+		return wantSameTypes(in, argT[1:], in.Type, in.Type)
+	case OpReg:
+		if !argT[1].IsBool() {
+			return fmt.Errorf("reg enable must be bool, got %s", argT[1])
+		}
+		if argT[0] != in.Type {
+			return fmt.Errorf("reg input has type %s, result %s", argT[0], in.Type)
+		}
+		return checkLaneAttrs(in, "initial value")
+	case OpSll, OpSrl, OpSra:
+		if len(in.Attrs) != 1 {
+			return fmt.Errorf("%s takes one shift-amount attribute, got %d", in.Op, len(in.Attrs))
+		}
+		if !in.Type.IsInt() {
+			return fmt.Errorf("%s applies to scalar integers, got %s", in.Op, in.Type)
+		}
+		if argT[0] != in.Type {
+			return fmt.Errorf("%s operand has type %s, result %s", in.Op, argT[0], in.Type)
+		}
+		if s := in.Attrs[0]; s < 0 || s >= int64(in.Type.Width()) {
+			return fmt.Errorf("%s shift amount %d out of range for %s", in.Op, s, in.Type)
+		}
+		return nil
+	case OpSlice:
+		return checkSlice(in, argT[0])
+	case OpCat:
+		return checkCat(in, argT)
+	case OpId:
+		return wantSameTypes(in, argT, in.Type)
+	case OpConst:
+		return checkLaneAttrs(in, "value")
+	}
+	return fmt.Errorf("unhandled op %s", in.Op)
+}
+
+func wantSameTypes(in Instr, argT []Type, want ...Type) error {
+	if len(argT) != len(want) {
+		return fmt.Errorf("%s takes %d arguments, got %d", in.Op, len(want), len(argT))
+	}
+	for i, t := range argT {
+		if t != want[i] {
+			return fmt.Errorf("%s argument %d has type %s, want %s", in.Op, i, t, want[i])
+		}
+	}
+	return nil
+}
+
+// checkLaneAttrs validates const/reg attributes: either one splat value or
+// one value per lane.
+func checkLaneAttrs(in Instr, what string) error {
+	switch len(in.Attrs) {
+	case 1:
+		return nil
+	case in.Type.Lanes():
+		return nil
+	default:
+		return fmt.Errorf("%s takes 1 or %d %s attributes, got %d",
+			in.Op, in.Type.Lanes(), what, len(in.Attrs))
+	}
+}
+
+func checkSlice(in Instr, src Type) error {
+	if src.IsVector() {
+		// Lane extraction: slice[lane](v) with scalar result.
+		if len(in.Attrs) != 1 {
+			return fmt.Errorf("vector slice takes one lane attribute, got %d", len(in.Attrs))
+		}
+		lane := in.Attrs[0]
+		if lane < 0 || lane >= int64(src.Lanes()) {
+			return fmt.Errorf("slice lane %d out of range for %s", lane, src)
+		}
+		if in.Type != src.Lane() {
+			return fmt.Errorf("slice of %s yields %s, result declared %s", src, src.Lane(), in.Type)
+		}
+		return nil
+	}
+	// Bit extraction: slice[hi, lo](x).
+	if len(in.Attrs) != 2 {
+		return fmt.Errorf("scalar slice takes [hi, lo] attributes, got %d", len(in.Attrs))
+	}
+	hi, lo := in.Attrs[0], in.Attrs[1]
+	if lo < 0 || hi < lo || hi >= int64(src.Width()) {
+		return fmt.Errorf("slice range [%d, %d] invalid for %s", hi, lo, src)
+	}
+	wantBits := int(hi - lo + 1)
+	if in.Type.IsVector() || in.Type.Bits() != wantBits {
+		return fmt.Errorf("slice [%d, %d] yields %d bits, result declared %s", hi, lo, wantBits, in.Type)
+	}
+	return nil
+}
+
+func checkCat(in Instr, argT []Type) error {
+	a, b := argT[0], argT[1]
+	// Vector-building concatenation: when the result is declared as a
+	// vector, scalars act as one-lane vectors of their width. This is how
+	// the vectorization pass (§8.2) packs independent scalars.
+	if in.Type.IsVector() {
+		if a.IsBool() || b.IsBool() {
+			return fmt.Errorf("cat cannot build vectors from bool operands")
+		}
+		if a.Width() != b.Width() || a.Width() != in.Type.Width() {
+			return fmt.Errorf("cat lane widths differ: %s, %s into %s", a, b, in.Type)
+		}
+		if a.Lanes()+b.Lanes() != in.Type.Lanes() {
+			return fmt.Errorf("cat of %s and %s yields i%d<%d>, result declared %s",
+				a, b, a.Width(), a.Lanes()+b.Lanes(), in.Type)
+		}
+		return nil
+	}
+	if a.IsVector() || b.IsVector() {
+		return fmt.Errorf("cat of vectors must declare a vector result: %s, %s into %s",
+			a, b, in.Type)
+	}
+	want := a.Bits() + b.Bits()
+	if in.Type.Bits() != want {
+		return fmt.Errorf("cat of %s and %s yields %d bits, result declared %s", a, b, want, in.Type)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// EvalPure evaluates a single non-stateful instruction given its argument
+// values. It implements the dataflow semantics of §4.1; reg is handled by
+// the interpreter's synchronous update and is rejected here.
+func EvalPure(in Instr, args []Value) (Value, error) {
+	if in.Op.IsStateful() {
+		return Value{}, fmt.Errorf("ir: EvalPure on stateful op %s", in.Op)
+	}
+	switch in.Op {
+	case OpConst:
+		return constValue(in.Type, in.Attrs), nil
+	case OpId:
+		return args[0], nil
+	case OpAdd:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a + b }), nil
+	case OpSub:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a - b }), nil
+	case OpMul:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a * b }), nil
+	case OpAnd:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a & b }), nil
+	case OpOr:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a | b }), nil
+	case OpXor:
+		return lanewise2(in.Type, args[0], args[1], func(a, b int64) int64 { return a ^ b }), nil
+	case OpNot:
+		return lanewise1(in.Type, args[0], func(a int64) int64 { return ^a }), nil
+	case OpEq:
+		return BoolValue(args[0].Scalar() == args[1].Scalar()), nil
+	case OpNeq:
+		return BoolValue(args[0].Scalar() != args[1].Scalar()), nil
+	case OpLt:
+		return BoolValue(args[0].Scalar() < args[1].Scalar()), nil
+	case OpGt:
+		return BoolValue(args[0].Scalar() > args[1].Scalar()), nil
+	case OpLe:
+		return BoolValue(args[0].Scalar() <= args[1].Scalar()), nil
+	case OpGe:
+		return BoolValue(args[0].Scalar() >= args[1].Scalar()), nil
+	case OpMux:
+		if args[0].Bool() {
+			return args[1], nil
+		}
+		return args[2], nil
+	case OpSll:
+		sh := uint(in.Attrs[0])
+		return lanewise1(in.Type, args[0], func(a int64) int64 { return a << sh }), nil
+	case OpSrl:
+		sh := uint(in.Attrs[0])
+		w := args[0].Type().Width()
+		return lanewise1(in.Type, args[0], func(a int64) int64 {
+			return int64((uint64(a) & mask(w)) >> sh)
+		}), nil
+	case OpSra:
+		sh := uint(in.Attrs[0])
+		return lanewise1(in.Type, args[0], func(a int64) int64 { return a >> sh }), nil
+	case OpSlice:
+		return evalSlice(in, args[0]), nil
+	case OpCat:
+		return evalCat(in.Type, args[0], args[1]), nil
+	}
+	return Value{}, fmt.Errorf("ir: EvalPure: unhandled op %s", in.Op)
+}
+
+// RegNext computes the next state of a reg instruction given its current
+// value and argument values: the input when enabled, else the held value.
+func RegNext(current Value, input, enable Value) Value {
+	if enable.Bool() {
+		return input
+	}
+	return current
+}
+
+// RegInit returns the initial value of a reg instruction from its attributes.
+func RegInit(in Instr) Value {
+	return constValue(in.Type, in.Attrs)
+}
+
+// constValue builds a value of type t from attribute values: one splat
+// value, or one value per lane.
+func constValue(t Type, attrs []int64) Value {
+	lanes := make([]int64, t.Lanes())
+	switch len(attrs) {
+	case 1:
+		for i := range lanes {
+			lanes[i] = signExtend(attrs[0], t.Width())
+		}
+	case t.Lanes():
+		for i := range lanes {
+			lanes[i] = signExtend(attrs[i], t.Width())
+		}
+	default:
+		panic(fmt.Sprintf("ir: const/reg of %s with %d attributes", t, len(attrs)))
+	}
+	return Value{typ: t, lanes: lanes}
+}
+
+func lanewise1(t Type, a Value, f func(int64) int64) Value {
+	lanes := make([]int64, t.Lanes())
+	for i := range lanes {
+		lanes[i] = signExtend(f(a.lanes[i]), t.Width())
+	}
+	return Value{typ: t, lanes: lanes}
+}
+
+func lanewise2(t Type, a, b Value, f func(int64, int64) int64) Value {
+	lanes := make([]int64, t.Lanes())
+	for i := range lanes {
+		lanes[i] = signExtend(f(a.lanes[i], b.lanes[i]), t.Width())
+	}
+	return Value{typ: t, lanes: lanes}
+}
+
+func evalSlice(in Instr, src Value) Value {
+	if src.Type().IsVector() {
+		lane := int(in.Attrs[0])
+		return Value{typ: in.Type, lanes: []int64{src.lanes[lane]}}
+	}
+	hi, lo := in.Attrs[0], in.Attrs[1]
+	bits := uint64(src.lanes[0]) & mask(src.Type().Width())
+	v := int64((bits >> uint(lo)) & mask(int(hi-lo+1)))
+	return Value{typ: in.Type, lanes: []int64{signExtend(v, in.Type.Width())}}
+}
+
+func evalCat(t Type, a, b Value) Value {
+	if t.IsVector() {
+		// Scalars contribute one lane; vectors contribute all of theirs.
+		lanes := make([]int64, 0, t.Lanes())
+		lanes = append(lanes, a.lanes...)
+		lanes = append(lanes, b.lanes...)
+		return Value{typ: t, lanes: lanes}
+	}
+	// Scalar concatenation: first operand supplies the low bits (§4.1's sll
+	// example appends a zero bit at the bottom).
+	aw := a.Type().Bits()
+	low := uint64(a.lanes[0]) & mask(aw)
+	high := uint64(b.lanes[0]) & mask(b.Type().Bits())
+	v := int64(low | high<<uint(aw))
+	return Value{typ: t, lanes: []int64{signExtend(v, t.Width())}}
+}

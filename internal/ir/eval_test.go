@@ -1,0 +1,241 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func evalOne(t *testing.T, in Instr, args ...Value) Value {
+	t.Helper()
+	v, err := EvalPure(in, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	i8 := Int(8)
+	a := ScalarValue(i8, 100)
+	b := ScalarValue(i8, 50)
+	tests := []struct {
+		op   Op
+		want int64
+	}{
+		{OpAdd, -106}, // 150 wraps in i8
+		{OpSub, 50},
+		{OpMul, -120}, // 5000 mod 256 = 136 -> -120
+	}
+	for _, tt := range tests {
+		got := evalOne(t, Instr{Type: i8, Op: tt.op}, a, b)
+		if got.Scalar() != tt.want {
+			t.Errorf("%s(100, 50) = %d, want %d", tt.op, got.Scalar(), tt.want)
+		}
+	}
+}
+
+func TestEvalBitwise(t *testing.T) {
+	i8 := Int(8)
+	a := ScalarValue(i8, 0b1100)
+	b := ScalarValue(i8, 0b1010)
+	if got := evalOne(t, Instr{Type: i8, Op: OpAnd}, a, b); got.Scalar() != 0b1000 {
+		t.Errorf("and = %d", got.Scalar())
+	}
+	if got := evalOne(t, Instr{Type: i8, Op: OpOr}, a, b); got.Scalar() != 0b1110 {
+		t.Errorf("or = %d", got.Scalar())
+	}
+	if got := evalOne(t, Instr{Type: i8, Op: OpXor}, a, b); got.Scalar() != 0b0110 {
+		t.Errorf("xor = %d", got.Scalar())
+	}
+	if got := evalOne(t, Instr{Type: i8, Op: OpNot}, a); got.Uint(0) != 0b11110011 {
+		t.Errorf("not = %d", got.Uint(0))
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	i8 := Int(8)
+	a := ScalarValue(i8, -5) // signed comparison semantics
+	b := ScalarValue(i8, 3)
+	cases := []struct {
+		op   Op
+		want bool
+	}{
+		{OpEq, false}, {OpNeq, true},
+		{OpLt, true}, {OpGt, false},
+		{OpLe, true}, {OpGe, false},
+	}
+	for _, tt := range cases {
+		got := evalOne(t, Instr{Type: Bool(), Op: tt.op}, a, b)
+		if got.Bool() != tt.want {
+			t.Errorf("%s(-5, 3) = %v, want %v", tt.op, got.Bool(), tt.want)
+		}
+	}
+}
+
+func TestEvalMux(t *testing.T) {
+	i8 := Int(8)
+	a := ScalarValue(i8, 1)
+	b := ScalarValue(i8, 2)
+	in := Instr{Type: i8, Op: OpMux}
+	if got := evalOne(t, in, BoolValue(true), a, b); got.Scalar() != 1 {
+		t.Errorf("mux(1,a,b) = %d", got.Scalar())
+	}
+	if got := evalOne(t, in, BoolValue(false), a, b); got.Scalar() != 2 {
+		t.Errorf("mux(0,a,b) = %d", got.Scalar())
+	}
+}
+
+// TestEvalFig6 computes the paper's Figure 6 expression 5*2+5 = 15.
+func TestEvalFig6(t *testing.T) {
+	i8 := Int(8)
+	t0 := evalOne(t, Instr{Type: i8, Op: OpConst, Attrs: []int64{5}})
+	t1 := evalOne(t, Instr{Type: i8, Op: OpSll, Attrs: []int64{1}}, t0)
+	t2 := evalOne(t, Instr{Type: i8, Op: OpAdd}, t0, t1)
+	if t2.Scalar() != 15 {
+		t.Errorf("5*2+5 = %d", t2.Scalar())
+	}
+}
+
+func TestEvalShifts(t *testing.T) {
+	i8 := Int(8)
+	v := ScalarValue(i8, -128) // 0b1000_0000
+	if got := evalOne(t, Instr{Type: i8, Op: OpSrl, Attrs: []int64{1}}, v); got.Scalar() != 64 {
+		t.Errorf("srl = %d, want 64 (logical)", got.Scalar())
+	}
+	if got := evalOne(t, Instr{Type: i8, Op: OpSra, Attrs: []int64{1}}, v); got.Scalar() != -64 {
+		t.Errorf("sra = %d, want -64 (arithmetic)", got.Scalar())
+	}
+	if got := evalOne(t, Instr{Type: i8, Op: OpSll, Attrs: []int64{7}}, ScalarValue(i8, 1)); got.Scalar() != -128 {
+		t.Errorf("sll = %d", got.Scalar())
+	}
+}
+
+func TestEvalSliceAndCat(t *testing.T) {
+	i8 := Int(8)
+	v := ScalarValue(i8, 0b10110100)
+	hi := evalOne(t, Instr{Type: Int(4), Op: OpSlice, Attrs: []int64{7, 4}}, v)
+	lo := evalOne(t, Instr{Type: Int(4), Op: OpSlice, Attrs: []int64{3, 0}}, v)
+	if hi.Uint(0) != 0b1011 || lo.Uint(0) != 0b0100 {
+		t.Errorf("slices = %b, %b", hi.Uint(0), lo.Uint(0))
+	}
+	// cat(lo, hi): first operand is the low bits.
+	back := evalOne(t, Instr{Type: i8, Op: OpCat}, lo, hi)
+	if back.Uint(0) != 0b10110100 {
+		t.Errorf("cat = %b", back.Uint(0))
+	}
+}
+
+func TestEvalVectorOps(t *testing.T) {
+	v4 := Vector(8, 4)
+	a := VectorValue(v4, 1, 2, 3, 4)
+	b := VectorValue(v4, 10, 20, 30, 40)
+	sum := evalOne(t, Instr{Type: v4, Op: OpAdd}, a, b)
+	want := []int64{11, 22, 33, 44}
+	for i, w := range want {
+		if sum.Lane(i) != w {
+			t.Errorf("lane %d = %d, want %d", i, sum.Lane(i), w)
+		}
+	}
+	lane2 := evalOne(t, Instr{Type: Int(8), Op: OpSlice, Attrs: []int64{2}}, sum)
+	if lane2.Scalar() != 33 {
+		t.Errorf("slice[2] = %d", lane2.Scalar())
+	}
+	cat := evalOne(t, Instr{Type: Vector(8, 8), Op: OpCat}, a, b)
+	if cat.Lane(0) != 1 || cat.Lane(4) != 10 || cat.Type().Lanes() != 8 {
+		t.Errorf("vector cat = %s", cat)
+	}
+}
+
+func TestEvalConstSplatAndPerLane(t *testing.T) {
+	v4 := Vector(8, 4)
+	splat := evalOne(t, Instr{Type: v4, Op: OpConst, Attrs: []int64{7}})
+	for i := 0; i < 4; i++ {
+		if splat.Lane(i) != 7 {
+			t.Errorf("splat lane %d = %d", i, splat.Lane(i))
+		}
+	}
+	per := evalOne(t, Instr{Type: v4, Op: OpConst, Attrs: []int64{1, 2, 3, 4}})
+	if per.Lane(3) != 4 {
+		t.Errorf("per-lane = %s", per)
+	}
+}
+
+func TestRegSemantics(t *testing.T) {
+	i8 := Int(8)
+	in := Instr{Dest: "c", Type: i8, Op: OpReg, Attrs: []int64{0}, Args: []string{"a", "b"}}
+	cur := RegInit(in)
+	if cur.Scalar() != 0 {
+		t.Errorf("init = %d", cur.Scalar())
+	}
+	// Disabled: holds.
+	next := RegNext(cur, ScalarValue(i8, 42), BoolValue(false))
+	if next.Scalar() != 0 {
+		t.Errorf("disabled reg moved to %d", next.Scalar())
+	}
+	// Enabled: loads.
+	next = RegNext(next, ScalarValue(i8, 42), BoolValue(true))
+	if next.Scalar() != 42 {
+		t.Errorf("enabled reg = %d", next.Scalar())
+	}
+}
+
+func TestEvalPureRejectsReg(t *testing.T) {
+	if _, err := EvalPure(Instr{Type: Int(8), Op: OpReg, Attrs: []int64{0}}, nil); err == nil {
+		t.Error("EvalPure(reg) succeeded")
+	}
+}
+
+// Property: add is commutative and sub(a,a)=0 at every width.
+func TestEvalAddProperties(t *testing.T) {
+	f := func(x, y int64, w uint8) bool {
+		width := int(w%63) + 1
+		typ := Int(width)
+		a, b := ScalarValue(typ, x), ScalarValue(typ, y)
+		ab := mustEval(Instr{Type: typ, Op: OpAdd}, a, b)
+		ba := mustEval(Instr{Type: typ, Op: OpAdd}, b, a)
+		z := mustEval(Instr{Type: typ, Op: OpSub}, a, a)
+		return ab.Equal(ba) && z.Scalar() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slice-and-cat reassembles any i16 value.
+func TestEvalSliceCatInverse(t *testing.T) {
+	f := func(x int64) bool {
+		t16 := Int(16)
+		v := ScalarValue(t16, x)
+		hi := mustEval(Instr{Type: Int(8), Op: OpSlice, Attrs: []int64{15, 8}}, v)
+		lo := mustEval(Instr{Type: Int(8), Op: OpSlice, Attrs: []int64{7, 0}}, v)
+		back := mustEval(Instr{Type: t16, Op: OpCat}, lo, hi)
+		return back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: not is an involution; xor(a,a)=0.
+func TestEvalBitwiseProperties(t *testing.T) {
+	f := func(x int64, w uint8) bool {
+		width := int(w%63) + 1
+		typ := Int(width)
+		a := ScalarValue(typ, x)
+		nn := mustEval(Instr{Type: typ, Op: OpNot},
+			mustEval(Instr{Type: typ, Op: OpNot}, a))
+		z := mustEval(Instr{Type: typ, Op: OpXor}, a, a)
+		return nn.Equal(a) && z.Scalar() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustEval(in Instr, args ...Value) Value {
+	v, err := EvalPure(in, args)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

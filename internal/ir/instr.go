@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Resource is the optional binding annotation on compute instructions:
+// the wildcard "??" (compiler's choice), LUTs, or DSPs (Fig. 5).
+type Resource uint8
+
+// The resource kinds of the language.
+const (
+	ResAny Resource = iota // the wildcard ??
+	ResLut
+	ResDsp
+)
+
+// String renders the resource in source syntax.
+func (r Resource) String() string {
+	switch r {
+	case ResAny:
+		return "??"
+	case ResLut:
+		return "lut"
+	case ResDsp:
+		return "dsp"
+	default:
+		return fmt.Sprintf("ir.Resource(%d)", uint8(r))
+	}
+}
+
+// ParseResource parses "??", "lut", or "dsp".
+func ParseResource(s string) (Resource, error) {
+	switch s {
+	case "??":
+		return ResAny, nil
+	case "lut":
+		return ResLut, nil
+	case "dsp":
+		return ResDsp, nil
+	}
+	return ResAny, fmt.Errorf("ir: unknown resource %q", s)
+}
+
+// Port is a typed function input or output.
+type Port struct {
+	Name string
+	Type Type
+}
+
+// String renders the port as "name:type".
+func (p Port) String() string { return p.Name + ":" + p.Type.String() }
+
+// Instr is one A-normal-form instruction: dest:type = op[attrs](args) @res.
+//
+// Wire instructions ignore Res. The attribute slice is shared, not copied;
+// callers that mutate Attrs after construction must clone first.
+type Instr struct {
+	Dest  string
+	Type  Type
+	Op    Op
+	Attrs []int64
+	Args  []string
+	Res   Resource
+}
+
+// IsWire reports whether the instruction is a wire instruction.
+func (in Instr) IsWire() bool { return in.Op.IsWire() }
+
+// IsCompute reports whether the instruction consumes device resources.
+func (in Instr) IsCompute() bool { return in.Op.IsCompute() }
+
+// String renders the instruction in source syntax.
+func (in Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Dest)
+	b.WriteByte(':')
+	b.WriteString(in.Type.String())
+	b.WriteString(" = ")
+	b.WriteString(in.Op.String())
+	if len(in.Attrs) > 0 {
+		b.WriteByte('[')
+		for i, a := range in.Attrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", a)
+		}
+		b.WriteByte(']')
+	}
+	if in.Op.Arity() != 0 {
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a)
+		}
+		b.WriteByte(')')
+	}
+	if in.IsCompute() {
+		b.WriteString(" @")
+		b.WriteString(in.Res.String())
+	}
+	b.WriteByte(';')
+	return b.String()
+}
+
+// Clone returns a deep copy of the instruction.
+func (in Instr) Clone() Instr {
+	out := in
+	out.Attrs = append([]int64(nil), in.Attrs...)
+	out.Args = append([]string(nil), in.Args...)
+	return out
+}
+
+// Func is a Reticle function: a name, typed inputs and outputs, and a flat
+// body of instructions (Fig. 5a). Instruction order is not semantically
+// meaningful for pure instructions — dependencies are by name — but it is
+// preserved for printing.
+type Func struct {
+	Name    string
+	Inputs  []Port
+	Outputs []Port
+	Body    []Instr
+}
+
+// Clone returns a deep copy of the function.
+func (f *Func) Clone() *Func {
+	out := &Func{
+		Name:    f.Name,
+		Inputs:  append([]Port(nil), f.Inputs...),
+		Outputs: append([]Port(nil), f.Outputs...),
+		Body:    make([]Instr, len(f.Body)),
+	}
+	for i, in := range f.Body {
+		out.Body[i] = in.Clone()
+	}
+	return out
+}
+
+// String renders the function in source syntax.
+func (f *Func) String() string {
+	var b strings.Builder
+	b.WriteString("def ")
+	b.WriteString(f.Name)
+	b.WriteByte('(')
+	for i, p := range f.Inputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(") -> (")
+	for i, p := range f.Outputs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString(") {\n")
+	for _, in := range f.Body {
+		b.WriteString("    ")
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Defs returns a map from destination name to the index of its defining
+// instruction in Body.
+func (f *Func) Defs() map[string]int {
+	defs := make(map[string]int, len(f.Body))
+	for i, in := range f.Body {
+		defs[in.Dest] = i
+	}
+	return defs
+}
+
+// InputTypes returns a map from input name to type.
+func (f *Func) InputTypes() map[string]Type {
+	m := make(map[string]Type, len(f.Inputs))
+	for _, p := range f.Inputs {
+		m[p.Name] = p.Type
+	}
+	return m
+}
+
+// TypeOf resolves the type of a variable name: an input or a destination.
+func (f *Func) TypeOf(name string) (Type, bool) {
+	for _, p := range f.Inputs {
+		if p.Name == name {
+			return p.Type, true
+		}
+	}
+	for _, in := range f.Body {
+		if in.Dest == name {
+			return in.Type, true
+		}
+	}
+	return Type{}, false
+}
+
+// ComputeCount returns the number of compute instructions in the body.
+func (f *Func) ComputeCount() int {
+	n := 0
+	for _, in := range f.Body {
+		if in.IsCompute() {
+			n++
+		}
+	}
+	return n
+}

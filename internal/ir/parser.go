@@ -1,0 +1,301 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Parser consumes a token stream. It is shared machinery for the IR parser
+// here and reused (via the exported cursor methods) by the assembly and
+// target-description parsers, which share the token grammar.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser returns a parser over a scanned token stream.
+func NewParser(toks []Token) *Parser { return &Parser{toks: toks} }
+
+// Peek returns the current token without consuming it.
+func (p *Parser) Peek() Token { return p.toks[p.pos] }
+
+// Take consumes and returns the current token.
+func (p *Parser) Take() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// AtPunct reports whether the current token is the punctuation text.
+func (p *Parser) AtPunct(text string) bool {
+	t := p.Peek()
+	return t.Kind == TokPunct && t.Text == text
+}
+
+// AtIdent reports whether the current token is the given identifier.
+func (p *Parser) AtIdent(text string) bool {
+	t := p.Peek()
+	return t.Kind == TokIdent && t.Text == text
+}
+
+// EatPunct consumes the punctuation token if present.
+func (p *Parser) EatPunct(text string) bool {
+	if p.AtPunct(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// ExpectPunct consumes the punctuation token or fails.
+func (p *Parser) ExpectPunct(text string) error {
+	t := p.Peek()
+	if t.Kind == TokPunct && t.Text == text {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("line %d: expected %q, found %s", t.Line, text, t)
+}
+
+// ExpectIdent consumes an identifier token and returns its text.
+func (p *Parser) ExpectIdent() (string, error) {
+	t := p.Peek()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("line %d: expected identifier, found %s", t.Line, t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// ExpectKeyword consumes the given identifier or fails.
+func (p *Parser) ExpectKeyword(kw string) error {
+	t := p.Peek()
+	if t.Kind == TokIdent && t.Text == kw {
+		p.pos++
+		return nil
+	}
+	return fmt.Errorf("line %d: expected %q, found %s", t.Line, kw, t)
+}
+
+// ExpectInt consumes an integer token and returns its value.
+func (p *Parser) ExpectInt() (int64, error) {
+	t := p.Peek()
+	if t.Kind != TokInt {
+		return 0, fmt.Errorf("line %d: expected integer, found %s", t.Line, t)
+	}
+	p.pos++
+	return t.Int, nil
+}
+
+// ParseTypeTok parses a type: "bool", "i8", or "i8<4>". The lexer splits
+// "i8<4>" into ident, '<', int, '>', so the parser reassembles it.
+func (p *Parser) ParseTypeTok() (Type, error) {
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return Type{}, err
+	}
+	base, err := ParseType(name)
+	if err != nil {
+		return Type{}, err
+	}
+	if base.IsInt() && p.EatPunct("<") {
+		lanes, err := p.ExpectInt()
+		if err != nil {
+			return Type{}, err
+		}
+		if err := p.ExpectPunct(">"); err != nil {
+			return Type{}, err
+		}
+		return NewVector(base.Width(), int(lanes))
+	}
+	return base, nil
+}
+
+// ParsePorts parses "(" [port ("," port)*] ")".
+func (p *Parser) ParsePorts() ([]Port, error) {
+	if err := p.ExpectPunct("("); err != nil {
+		return nil, err
+	}
+	var ports []Port
+	for !p.AtPunct(")") {
+		if len(ports) > 0 {
+			if err := p.ExpectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.ExpectPunct(":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.ParseTypeTok()
+		if err != nil {
+			return nil, err
+		}
+		ports = append(ports, Port{Name: name, Type: typ})
+	}
+	return ports, p.ExpectPunct(")")
+}
+
+// ParseAttrs parses an optional attribute list "[" int ("," int)* "]".
+func (p *Parser) ParseAttrs() ([]int64, error) {
+	if !p.EatPunct("[") {
+		return nil, nil
+	}
+	var attrs []int64
+	for !p.AtPunct("]") {
+		if len(attrs) > 0 {
+			if err := p.ExpectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		v, err := p.ExpectInt()
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, v)
+	}
+	return attrs, p.ExpectPunct("]")
+}
+
+// ParseArgs parses an optional argument list "(" name ("," name)* ")".
+func (p *Parser) ParseArgs() ([]string, error) {
+	if !p.EatPunct("(") {
+		return nil, nil
+	}
+	var args []string
+	for !p.AtPunct(")") {
+		if len(args) > 0 {
+			if err := p.ExpectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		name, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, name)
+	}
+	return args, p.ExpectPunct(")")
+}
+
+// parseInstr parses one IR instruction terminated by ";".
+func (p *Parser) parseInstr() (Instr, error) {
+	var in Instr
+	dest, err := p.ExpectIdent()
+	if err != nil {
+		return in, err
+	}
+	if err := p.ExpectPunct(":"); err != nil {
+		return in, err
+	}
+	typ, err := p.ParseTypeTok()
+	if err != nil {
+		return in, err
+	}
+	if err := p.ExpectPunct("="); err != nil {
+		return in, err
+	}
+	opName, err := p.ExpectIdent()
+	if err != nil {
+		return in, err
+	}
+	op, err := ParseOp(opName)
+	if err != nil {
+		return in, fmt.Errorf("line %d: %v", p.Peek().Line, err)
+	}
+	attrs, err := p.ParseAttrs()
+	if err != nil {
+		return in, err
+	}
+	args, err := p.ParseArgs()
+	if err != nil {
+		return in, err
+	}
+	res := ResAny
+	if p.EatPunct("@") {
+		t := p.Take()
+		r, err := ParseResource(t.Text)
+		if err != nil {
+			return in, fmt.Errorf("line %d: %v", t.Line, err)
+		}
+		res = r
+	}
+	if err := p.ExpectPunct(";"); err != nil {
+		return in, err
+	}
+	return Instr{Dest: dest, Type: typ, Op: op, Attrs: attrs, Args: args, Res: res}, nil
+}
+
+// parseFunc parses one function definition.
+func (p *Parser) parseFunc() (*Func, error) {
+	if err := p.ExpectKeyword("def"); err != nil {
+		return nil, err
+	}
+	name, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := p.ParsePorts()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExpectPunct("->"); err != nil {
+		return nil, err
+	}
+	outputs, err := p.ParsePorts()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExpectPunct("{"); err != nil {
+		return nil, err
+	}
+	f := &Func{Name: name, Inputs: inputs, Outputs: outputs}
+	for !p.AtPunct("}") {
+		in, err := p.parseInstr()
+		if err != nil {
+			return nil, err
+		}
+		f.Body = append(f.Body, in)
+	}
+	return f, p.ExpectPunct("}")
+}
+
+// Parse parses a single function from source text and checks it.
+func Parse(src string) (*Func, error) {
+	fns, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(fns) != 1 {
+		return nil, fmt.Errorf("ir: expected exactly one function, found %d", len(fns))
+	}
+	return fns[0], nil
+}
+
+// ParseAll parses every function in the source text and checks each.
+func ParseAll(src string) ([]*Func, error) {
+	toks, err := Tokens(src)
+	if err != nil {
+		return nil, err
+	}
+	p := NewParser(toks)
+	var fns []*Func
+	for p.Peek().Kind != TokEOF {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, fmt.Errorf("ir: %w", err)
+		}
+		if err := Check(f); err != nil {
+			return nil, err
+		}
+		fns = append(fns, f)
+	}
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("ir: no functions in input")
+	}
+	return fns, nil
+}

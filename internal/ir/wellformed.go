@@ -1,0 +1,85 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CheckWellFormed verifies the well-formedness criterion of §6.1: the
+// definition–use dependence graph must be acyclic once reg instructions are
+// removed. Programs with combinational (register-free) cycles are rejected.
+//
+// On success it returns the indices of the pure (non-reg) instructions in a
+// topological evaluation order, followed by no particular order for regs;
+// the interpreter consumes this split.
+func CheckWellFormed(f *Func) (pure, regs []int, err error) {
+	defs := f.Defs()
+
+	// adj[i] lists instruction indices that consume instruction i's output.
+	// Edges out of reg instructions are cut: a reg's output is available from
+	// the previous cycle, so it cannot participate in a combinational cycle.
+	n := len(f.Body)
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for i, in := range f.Body {
+		for _, a := range in.Args {
+			j, ok := defs[a]
+			if !ok {
+				continue // function input
+			}
+			if f.Body[j].Op.IsStateful() {
+				continue
+			}
+			adj[j] = append(adj[j], i)
+			indeg[i]++
+		}
+	}
+
+	// Kahn's algorithm over all instructions; reg nodes participate as sinks
+	// for their input edges but never as sources.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue) // deterministic order
+	var order []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(order) != n {
+		var stuck []string
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				stuck = append(stuck, f.Body[i].Dest)
+			}
+		}
+		return nil, nil, fmt.Errorf(
+			"ir: function %s is ill-formed: combinational cycle through {%s}",
+			f.Name, strings.Join(stuck, ", "))
+	}
+	for _, i := range order {
+		if f.Body[i].Op.IsStateful() {
+			regs = append(regs, i)
+		} else {
+			pure = append(pure, i)
+		}
+	}
+	return pure, regs, nil
+}
+
+// WellFormed reports whether f satisfies the criterion of §6.1.
+func WellFormed(f *Func) bool {
+	_, _, err := CheckWellFormed(f)
+	return err == nil
+}

@@ -1,0 +1,183 @@
+package passes
+
+import (
+	"fmt"
+
+	"reticle/internal/ir"
+)
+
+// Fold performs constant folding and strength reduction. Beyond the
+// classic simplifications, two rewrites are Reticle-specific wins: in this
+// IR, shifts by constants and constants themselves are *wire* operations
+// that consume no device resources (§4.1), so
+//
+//	mul by a power of two  ->  sll   (a DSP or LUT array becomes wiring)
+//	op with all-constant inputs -> const
+//
+// turn compute area into free wiring, not just fewer instructions.
+// Returns the rewritten function and the number of instructions folded.
+func Fold(f *ir.Func) (*ir.Func, int, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, 0, err
+	}
+	pure, regs, err := ir.CheckWellFormed(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	order := append(append([]int(nil), pure...), regs...)
+
+	// consts maps value names to their known constant value.
+	consts := map[string]ir.Value{}
+	rewritten := make([]ir.Instr, len(f.Body))
+	folded := 0
+
+	for _, i := range order {
+		in := f.Body[i].Clone()
+		if in.Op == ir.OpConst {
+			v, err := ir.EvalPure(in, nil)
+			if err != nil {
+				return nil, 0, err
+			}
+			consts[in.Dest] = v
+			rewritten[i] = in
+			continue
+		}
+		if in.Op.IsStateful() {
+			rewritten[i] = in
+			continue
+		}
+
+		// All-constant operands: evaluate now.
+		args := make([]ir.Value, len(in.Args))
+		allConst := true
+		for k, a := range in.Args {
+			v, ok := consts[a]
+			if !ok {
+				allConst = false
+				break
+			}
+			args[k] = v
+		}
+		if allConst && len(in.Args) > 0 {
+			v, err := ir.EvalPure(in, args)
+			if err != nil {
+				return nil, 0, fmt.Errorf("passes: fold %s: %w", in.Dest, err)
+			}
+			rewritten[i] = ir.Instr{Dest: in.Dest, Type: in.Type, Op: ir.OpConst,
+				Attrs: v.Lanes()}
+			consts[in.Dest] = v
+			folded++
+			continue
+		}
+
+		if out, ok := strengthReduce(in, consts); ok {
+			rewritten[i] = out
+			folded++
+			if out.Op == ir.OpConst {
+				v, err := ir.EvalPure(out, nil)
+				if err != nil {
+					return nil, 0, err
+				}
+				consts[out.Dest] = v
+			}
+			continue
+		}
+		rewritten[i] = in
+	}
+
+	out := &ir.Func{
+		Name:    f.Name,
+		Inputs:  append([]ir.Port(nil), f.Inputs...),
+		Outputs: append([]ir.Port(nil), f.Outputs...),
+		Body:    rewritten,
+	}
+	if err := ir.Check(out); err != nil {
+		return nil, 0, fmt.Errorf("passes: fold produced invalid IR: %w", err)
+	}
+	if _, _, err := ir.CheckWellFormed(out); err != nil {
+		return nil, 0, fmt.Errorf("passes: fold produced ill-formed IR: %w", err)
+	}
+	return out, folded, nil
+}
+
+// strengthReduce rewrites one instruction against known-constant operands.
+func strengthReduce(in ir.Instr, consts map[string]ir.Value) (ir.Instr, bool) {
+	constScalar := func(k int) (int64, bool) {
+		if k >= len(in.Args) {
+			return 0, false
+		}
+		v, ok := consts[in.Args[k]]
+		if !ok || v.Type().IsVector() {
+			return 0, false
+		}
+		return v.Scalar(), true
+	}
+	id := func(src string) (ir.Instr, bool) {
+		return ir.Instr{Dest: in.Dest, Type: in.Type, Op: ir.OpId,
+			Args: []string{src}}, true
+	}
+	konst := func(vals ...int64) (ir.Instr, bool) {
+		return ir.Instr{Dest: in.Dest, Type: in.Type, Op: ir.OpConst,
+			Attrs: vals}, true
+	}
+
+	switch in.Op {
+	case ir.OpMul:
+		// x * 2^k -> sll[k](x): compute becomes wiring.
+		if !in.Type.IsVector() {
+			for k := 0; k < 2; k++ {
+				c, ok := constScalar(k)
+				if !ok {
+					continue
+				}
+				other := in.Args[1-k]
+				switch {
+				case c == 0:
+					return konst(0)
+				case c == 1:
+					return id(other)
+				case c > 1 && c&(c-1) == 0 && log2of(c) < int64(in.Type.Width()):
+					return ir.Instr{Dest: in.Dest, Type: in.Type, Op: ir.OpSll,
+						Attrs: []int64{log2of(c)}, Args: []string{other}}, true
+				}
+			}
+		}
+	case ir.OpAdd, ir.OpOr, ir.OpXor:
+		// x op 0 -> x (for xor/or/add alike).
+		for k := 0; k < 2; k++ {
+			if c, ok := constScalar(k); ok && c == 0 {
+				return id(in.Args[1-k])
+			}
+		}
+	case ir.OpSub:
+		if c, ok := constScalar(1); ok && c == 0 {
+			return id(in.Args[0])
+		}
+	case ir.OpAnd:
+		for k := 0; k < 2; k++ {
+			if c, ok := constScalar(k); ok && c == 0 && !in.Type.IsVector() {
+				return konst(0)
+			}
+		}
+	case ir.OpMux:
+		if v, ok := consts[in.Args[0]]; ok {
+			if v.Bool() {
+				return id(in.Args[1])
+			}
+			return id(in.Args[2])
+		}
+		if in.Args[1] == in.Args[2] {
+			return id(in.Args[1])
+		}
+	}
+	return ir.Instr{}, false
+}
+
+func log2of(v int64) int64 {
+	n := int64(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,205 @@
+package passes
+
+import (
+	"math/rand"
+	"testing"
+
+	"reticle/internal/interp"
+	"reticle/internal/ir"
+	"reticle/internal/irgen"
+)
+
+func TestFoldAllConstant(t *testing.T) {
+	// The paper's Figure 6 expression 5*2+5, fully constant.
+	f := mustParse(t, `
+def fig6(x:bool) -> (t2:i8) {
+    t0:i8 = const[5];
+    t1:i8 = sll[1](t0);
+    t2:i8 = add(t0, t1) @??;
+}
+`)
+	out, n, err := Fold(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 2 {
+		t.Errorf("folded = %d", n)
+	}
+	got, err := interp.Run(out, interp.Trace{{"x": ir.BoolValue(false)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0]["t2"].Scalar() != 15 {
+		t.Errorf("t2 = %s, want 15", got[0]["t2"])
+	}
+	for _, in := range out.Body {
+		if in.IsCompute() {
+			t.Errorf("compute instruction survived full folding: %s", in)
+		}
+	}
+}
+
+// TestFoldMulToShift is the Reticle-specific win: a DSP multiply by a
+// power of two becomes a free wire shift.
+func TestFoldMulToShift(t *testing.T) {
+	f := mustParse(t, `
+def m(a:i8) -> (y:i8) {
+    four:i8 = const[4];
+    y:i8 = mul(a, four) @dsp;
+}
+`)
+	out, n, err := Fold(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("folded = %d\n%s", n, out)
+	}
+	var shift *ir.Instr
+	for i := range out.Body {
+		if out.Body[i].Op == ir.OpSll {
+			shift = &out.Body[i]
+		}
+		if out.Body[i].Op == ir.OpMul {
+			t.Errorf("mul survived")
+		}
+	}
+	if shift == nil || shift.Attrs[0] != 2 {
+		t.Fatalf("no sll[2]:\n%s", out)
+	}
+}
+
+func TestFoldIdentities(t *testing.T) {
+	cases := []struct {
+		name, src string
+		wantOp    ir.Op
+	}{
+		{"add zero", `def f(a:i8) -> (y:i8) {
+            z:i8 = const[0];
+            y:i8 = add(a, z) @??;
+        }`, ir.OpId},
+		{"mul one", `def f(a:i8) -> (y:i8) {
+            o:i8 = const[1];
+            y:i8 = mul(o, a) @??;
+        }`, ir.OpId},
+		{"mul zero", `def f(a:i8) -> (y:i8) {
+            z:i8 = const[0];
+            y:i8 = mul(a, z) @??;
+        }`, ir.OpConst},
+		{"and zero", `def f(a:i8) -> (y:i8) {
+            z:i8 = const[0];
+            y:i8 = and(a, z) @??;
+        }`, ir.OpConst},
+		{"sub zero", `def f(a:i8) -> (y:i8) {
+            z:i8 = const[0];
+            y:i8 = sub(a, z) @??;
+        }`, ir.OpId},
+		{"mux const cond", `def f(a:i8, b:i8) -> (y:i8) {
+            c:bool = const[1];
+            y:i8 = mux(c, a, b) @lut;
+        }`, ir.OpId},
+		{"mux same arms", `def f(c:bool, a:i8) -> (y:i8) {
+            y:i8 = mux(c, a, a) @lut;
+        }`, ir.OpId},
+	}
+	for _, tc := range cases {
+		f := mustParse(t, tc.src)
+		out, n, err := Fold(f)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if n == 0 {
+			t.Errorf("%s: nothing folded", tc.name)
+			continue
+		}
+		last := out.Body[len(out.Body)-1]
+		if last.Op != tc.wantOp {
+			t.Errorf("%s: y is %s, want %s\n%s", tc.name, last.Op, tc.wantOp, out)
+		}
+	}
+}
+
+func TestFoldLeavesRegistersAlone(t *testing.T) {
+	f := mustParse(t, `
+def r(en:bool) -> (q:i8) {
+    k:i8 = const[3];
+    s:i8 = add(q, k) @??;
+    q:i8 = reg[0](s, en) @??;
+}
+`)
+	out, _, err := Fold(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := 0
+	for _, in := range out.Body {
+		if in.Op == ir.OpReg {
+			regs++
+		}
+	}
+	if regs != 1 {
+		t.Errorf("registers = %d", regs)
+	}
+	// The accumulator still accumulates.
+	tr := interp.Trace{{"en": ir.BoolValue(true)}, {"en": ir.BoolValue(true)}, {"en": ir.BoolValue(true)}}
+	got, err := interp.Run(out, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2]["q"].Scalar() != 6 {
+		t.Errorf("q = %s at cycle 2, want 6", got[2]["q"])
+	}
+}
+
+func TestFoldPreservesSemanticsOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		f := irgen.Generate(rng, irgen.Config{Instrs: 18, WithVectors: true})
+		out, _, err := Fold(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := irgen.RandomTrace(rng, f, 10)
+		want, err := interp.Run(f, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Run(out, tr)
+		if err != nil {
+			t.Fatalf("seed %d: folded program broke: %v\n%s", seed, err, out)
+		}
+		for i := range want {
+			for _, p := range f.Outputs {
+				if !want[i][p.Name].Equal(got[i][p.Name]) {
+					t.Fatalf("seed %d cycle %d: %s changed\nbefore:\n%s\nafter:\n%s",
+						seed, i, p.Name, f, out)
+				}
+			}
+		}
+	}
+}
+
+func TestFoldVectorConst(t *testing.T) {
+	f := mustParse(t, `
+def v(x:bool) -> (y:i8<4>) {
+    a:i8<4> = const[1, 2, 3, 4];
+    b:i8<4> = const[10];
+    y:i8<4> = add(a, b) @??;
+}
+`)
+	out, n, err := Fold(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("folded = %d\n%s", n, out)
+	}
+	got, err := interp.Run(out, interp.Trace{{"x": ir.BoolValue(false)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ir.VectorValue(ir.Vector(8, 4), 11, 12, 13, 14)
+	if !got[0]["y"].Equal(want) {
+		t.Errorf("y = %s, want %s", got[0]["y"], want)
+	}
+}

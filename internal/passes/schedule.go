@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"fmt"
+
+	"reticle/internal/ir"
+)
+
+// PipelineOptions configures the scheduling helper.
+type PipelineOptions struct {
+	// Enable names a bool input or value used as the clock enable for the
+	// inserted registers; empty inserts a constant-true enable.
+	Enable string
+}
+
+// Pipeline implements the §8.1 scheduling step in its simplest useful
+// form: every pure compute result is registered (Fig. 14b's schedule).
+// Each stage then spans exactly one operation, maximizing clock rate at
+// the cost of latency — the space/time trade the paper assigns to
+// front-end schedulers.
+//
+// Consumers are rewired to the registered value, so the program computes
+// the same function with results delayed by the pipeline depth.
+func Pipeline(f *ir.Func, opts PipelineOptions) (*ir.Func, int, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, 0, err
+	}
+	if _, _, err := ir.CheckWellFormed(f); err != nil {
+		return nil, 0, err
+	}
+	out := &ir.Func{
+		Name:    f.Name,
+		Inputs:  append([]ir.Port(nil), f.Inputs...),
+		Outputs: append([]ir.Port(nil), f.Outputs...),
+	}
+	enable := opts.Enable
+	if enable == "" {
+		enable = "_pipe_en"
+		out.Body = append(out.Body, ir.Instr{
+			Dest: enable, Type: ir.Bool(), Op: ir.OpConst, Attrs: []int64{1},
+		})
+	} else {
+		if t, ok := f.TypeOf(enable); !ok || !t.IsBool() {
+			return nil, 0, fmt.Errorf("passes: pipeline enable %q is not a bool value", enable)
+		}
+	}
+
+	// Each pure compute result moves to a "_c" name and a register takes
+	// over the original destination, so every consumer — and every output
+	// port — reads the registered value without rewiring.
+	renamed := map[string]string{}
+	for _, in := range f.Body {
+		if in.IsCompute() && !in.Op.IsStateful() {
+			renamed[in.Dest] = in.Dest + "_c"
+		}
+	}
+	inserted := 0
+	for _, in := range f.Body {
+		ni := in.Clone()
+		if newName, ok := renamed[in.Dest]; ok {
+			ni.Dest = newName
+			out.Body = append(out.Body, ni)
+			out.Body = append(out.Body, ir.Instr{
+				Dest: in.Dest, Type: in.Type, Op: ir.OpReg,
+				Attrs: []int64{0},
+				Args:  []string{newName, enable},
+				Res:   in.Res,
+			})
+			inserted++
+			continue
+		}
+		out.Body = append(out.Body, ni)
+	}
+	if err := ir.Check(out); err != nil {
+		return nil, 0, fmt.Errorf("passes: pipeline produced invalid IR: %w", err)
+	}
+	if _, _, err := ir.CheckWellFormed(out); err != nil {
+		return nil, 0, fmt.Errorf("passes: pipeline produced ill-formed IR: %w", err)
+	}
+	return out, inserted, nil
+}
+
+// BindPolicy chooses a resource for a compute instruction (§8.2, Fig. 17).
+type BindPolicy func(ir.Instr) ir.Resource
+
+// PreferDsp binds arithmetic to DSPs and the rest to the compiler's choice.
+func PreferDsp(in ir.Instr) ir.Resource {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		return ir.ResDsp
+	default:
+		return in.Res
+	}
+}
+
+// PreferLut binds every compute instruction to LUTs — the §8.2 example of
+// optimizing for a metric (e.g. power) the compiler does not natively
+// accommodate.
+func PreferLut(ir.Instr) ir.Resource { return ir.ResLut }
+
+// Unbind clears every annotation back to the wildcard.
+func Unbind(ir.Instr) ir.Resource { return ir.ResAny }
+
+// Bind rewrites resource annotations under a policy.
+func Bind(f *ir.Func, policy BindPolicy) (*ir.Func, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, err
+	}
+	out := f.Clone()
+	for i := range out.Body {
+		if out.Body[i].IsCompute() {
+			out.Body[i].Res = policy(out.Body[i])
+		}
+	}
+	return out, nil
+}

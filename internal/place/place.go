@@ -1,0 +1,503 @@
+// Package place implements Reticle's instruction placement stage (§5.3 of
+// the paper): converting a family-specific assembly program (unresolved
+// locations) into a device-specific one (resolved locations).
+//
+// Every assembly instruction must land on a slice of its primitive kind:
+//
+//   - the x coordinate must name a column of the right resource,
+//   - the y coordinate must be within the column height,
+//   - relative constraints (shared coordinate variables with offsets, the
+//     cascade idiom of §5.2) must hold, and
+//   - no two instructions may occupy the same slice.
+//
+// Instructions connected by shared coordinate variables form a rigid
+// macro (e.g. a cascade chain) and are placed as a unit: one anchor
+// variable whose members sit at fixed offsets. The constraints go to a
+// finite-domain solver (package csp, the stand-in for the paper's Z3):
+// independent instructions under an all-different propagator, macros under
+// pairwise non-overlap. When requested, shrinking passes binary-search
+// reduced areas, re-running the solver, to compact the layout (§5.3).
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"reticle/internal/asm"
+	"reticle/internal/csp"
+	"reticle/internal/device"
+	"reticle/internal/ir"
+)
+
+// Slot is a resolved location: a concrete slice of a primitive kind.
+type Slot struct {
+	Prim ir.Resource
+	X, Y int
+}
+
+// Result is a successful placement.
+type Result struct {
+	// Fn is a copy of the input program with every location resolved.
+	Fn *asm.Func
+	// Slots maps instruction destinations to their slices.
+	Slots map[string]Slot
+	// SolverSteps totals search steps across all solver invocations.
+	SolverSteps int
+	// ShrinkIters counts shrink-pass solver re-runs (0 when disabled).
+	ShrinkIters int
+	// MaxX and MaxY record the final per-primitive bounding box.
+	MaxX, MaxY map[ir.Resource]int
+}
+
+// Options configures placement.
+type Options struct {
+	// Shrink enables the binary-search area compaction passes.
+	Shrink bool
+	// MaxSteps bounds each solver invocation; 0 means the csp default.
+	MaxSteps int
+}
+
+// member is one instruction within a placement cluster.
+type member struct {
+	index      int // body index
+	dest       string
+	xoff, yoff int
+	xlit, ylit int // literal coordinate, or -1
+}
+
+// cluster is a rigid group of instructions placed together: either a
+// singleton (independent instruction) or a macro bound by shared
+// coordinate variables.
+type cluster struct {
+	prim    ir.Resource
+	members []member
+	// yoffs/xoffs are the distinct member offsets, for overlap tests.
+	minX, maxX, minY, maxY int
+}
+
+func (c *cluster) singleton() bool { return len(c.members) == 1 }
+
+// Place resolves every assembly instruction's location on the device.
+func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
+	clusters, err := buildClusters(f)
+	if err != nil {
+		return nil, err
+	}
+
+	// Capacity pre-check.
+	counts := map[ir.Resource]int{}
+	for _, c := range clusters {
+		counts[c.prim] += len(c.members)
+	}
+	for prim, n := range counts {
+		if cap := dev.Capacity(prim); n > cap {
+			return nil, fmt.Errorf("place: %d %s instructions exceed device capacity %d",
+				n, prim, cap)
+		}
+	}
+
+	full := map[ir.Resource][2]int{
+		ir.ResLut: {dev.NumCols(ir.ResLut), dev.Height},
+		ir.ResDsp: {dev.NumCols(ir.ResDsp), dev.Height},
+	}
+	sol, steps, err := solve(clusters, dev, full, opts.MaxSteps)
+	if err != nil {
+		return nil, fmt.Errorf("place: %w", err)
+	}
+	totalSteps := steps
+	shrinkIters := 0
+	bounds := full
+
+	if opts.Shrink {
+		// Probes are capped: a tight bound that sends the solver into deep
+		// backtracking is treated as infeasible, trading optimality of the
+		// compaction for bounded compile time (the pass is best-effort).
+		probeSteps := opts.MaxSteps
+		if probeSteps == 0 {
+			probeSteps = 100_000
+		}
+		for _, prim := range []ir.Resource{ir.ResDsp, ir.ResLut} {
+			if counts[prim] == 0 {
+				continue
+			}
+			for _, axis := range []int{1, 0} { // rows first, then columns
+				lo := shrinkFloor(clusters, bounds, prim, axis)
+				hi := usedExtent(dev, clusters, sol, prim, axis) + 1
+				best := hi
+				for lo < best {
+					mid := (lo + best) / 2
+					probe := cloneBounds(bounds)
+					b := probe[prim]
+					b[axis] = mid
+					probe[prim] = b
+					s2, st, err := solve(clusters, dev, probe, probeSteps)
+					totalSteps += st
+					shrinkIters++
+					if err == nil {
+						sol = s2
+						best = mid
+					} else {
+						lo = mid + 1
+					}
+				}
+				b := bounds[prim]
+				b[axis] = best
+				bounds[prim] = b
+			}
+		}
+	}
+
+	// Write back.
+	out := f.Clone()
+	res := &Result{
+		Fn:          out,
+		Slots:       make(map[string]Slot),
+		SolverSteps: totalSteps,
+		ShrinkIters: shrinkIters,
+		MaxX:        map[ir.Resource]int{},
+		MaxY:        map[ir.Resource]int{},
+	}
+	for ci, c := range clusters {
+		ax, ay := dev.SliceCoords(sol[ci])
+		for _, m := range c.members {
+			x, y := ax+m.xoff, ay+m.yoff
+			res.Slots[m.dest] = Slot{Prim: c.prim, X: x, Y: y}
+			out.Body[m.index].Loc = asm.Loc{
+				Prim: c.prim,
+				X:    asm.At(int64(x)),
+				Y:    asm.At(int64(y)),
+			}
+			if x > res.MaxX[c.prim] {
+				res.MaxX[c.prim] = x
+			}
+			if y > res.MaxY[c.prim] {
+				res.MaxY[c.prim] = y
+			}
+		}
+	}
+	return res, nil
+}
+
+// buildClusters groups instructions by shared coordinate variables
+// (union-find) and validates each group against the supported forms.
+func buildClusters(f *asm.Func) ([]*cluster, error) {
+	var infos []placeInfo
+	for i, in := range f.Body {
+		if in.IsWire() {
+			continue
+		}
+		if in.Loc.Prim != ir.ResLut && in.Loc.Prim != ir.ResDsp {
+			return nil, fmt.Errorf("place: %s: location primitive %s", in.Dest, in.Loc.Prim)
+		}
+		infos = append(infos, placeInfo{index: i, in: in})
+	}
+
+	parent := make([]int, len(infos))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	byVar := map[string]int{}
+	for i, inf := range infos {
+		for _, c := range []asm.Coord{inf.in.Loc.X, inf.in.Loc.Y} {
+			if c.Var == "" {
+				continue
+			}
+			if j, ok := byVar[c.Var]; ok {
+				union(i, j)
+			} else {
+				byVar[c.Var] = i
+			}
+		}
+	}
+
+	groups := map[int][]placeInfo{}
+	var order []int
+	for i, inf := range infos {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], inf)
+	}
+	sort.Ints(order)
+
+	var clusters []*cluster
+	for _, r := range order {
+		c, err := makeCluster(groups[r])
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, c)
+	}
+	return clusters, nil
+}
+
+// placeInfo pairs an instruction with its body index.
+type placeInfo struct {
+	index int
+	in    asm.Instr
+}
+
+// makeCluster validates one group. Multi-member groups must share exactly
+// one x variable and one y variable, used by every member; singletons may
+// mix variables, literals, and wildcards freely.
+func makeCluster(group []placeInfo) (*cluster, error) {
+	c := &cluster{prim: group[0].in.Loc.Prim}
+	if len(group) > 1 {
+		var xvar, yvar string
+		for _, g := range group {
+			if g.in.Loc.Prim != c.prim {
+				return nil, fmt.Errorf(
+					"place: instructions %s and %s share coordinates across primitives %s and %s",
+					group[0].in.Dest, g.in.Dest, c.prim, g.in.Loc.Prim)
+			}
+			for _, rc := range []struct {
+				co   asm.Coord
+				slot *string
+				axis string
+			}{{g.in.Loc.X, &xvar, "column"}, {g.in.Loc.Y, &yvar, "row"}} {
+				if rc.co.Var == "" {
+					return nil, fmt.Errorf(
+						"place: %s: %s coordinate must use the shared variable in a constrained group",
+						g.in.Dest, rc.axis)
+				}
+				if *rc.slot == "" {
+					*rc.slot = rc.co.Var
+				} else if *rc.slot != rc.co.Var {
+					return nil, fmt.Errorf(
+						"place: group uses two %s variables (%s, %s)", rc.axis, *rc.slot, rc.co.Var)
+				}
+			}
+		}
+		if xvar == yvar {
+			return nil, fmt.Errorf("place: coordinate variable %q used as both column and row", xvar)
+		}
+	}
+
+	occupied := map[[2]int]string{}
+	for _, g := range group {
+		m := member{index: g.index, dest: g.in.Dest, xlit: -1, ylit: -1}
+		m.xoff = int(g.in.Loc.X.Off)
+		m.yoff = int(g.in.Loc.Y.Off)
+		if len(group) == 1 {
+			// Singletons anchor at their own slot; literals filter the
+			// domain directly and variables reduce to offsets.
+			if g.in.Loc.X.IsLiteral() {
+				m.xlit = int(g.in.Loc.X.Off)
+				m.xoff = 0
+			}
+			if g.in.Loc.X.Wild {
+				m.xoff = 0
+			}
+			if g.in.Loc.Y.IsLiteral() {
+				m.ylit = int(g.in.Loc.Y.Off)
+				m.yoff = 0
+			}
+			if g.in.Loc.Y.Wild {
+				m.yoff = 0
+			}
+		}
+		key := [2]int{m.xoff, m.yoff}
+		if prev, dup := occupied[key]; dup {
+			return nil, fmt.Errorf(
+				"place: %s and %s are constrained to the same slice", prev, m.dest)
+		}
+		occupied[key] = m.dest
+		c.members = append(c.members, m)
+	}
+	c.minX, c.maxX = c.members[0].xoff, c.members[0].xoff
+	c.minY, c.maxY = c.members[0].yoff, c.members[0].yoff
+	for _, m := range c.members[1:] {
+		c.minX = min(c.minX, m.xoff)
+		c.maxX = max(c.maxX, m.xoff)
+		c.minY = min(c.minY, m.yoff)
+		c.maxY = max(c.maxY, m.yoff)
+	}
+	return c, nil
+}
+
+// solve runs one CSP over the given per-primitive bounds, returning the
+// anchor slice id chosen for each cluster.
+func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int) ([]int, int, error) {
+	var p csp.Problem
+	if maxSteps > 0 {
+		p.SetMaxSteps(maxSteps)
+	}
+	vars := make([]csp.Var, len(clusters))
+	singles := map[ir.Resource][]csp.Var{}
+	var macros []int
+
+	for ci, c := range clusters {
+		dom := anchorDomain(dev, c, bounds[c.prim])
+		if len(dom) == 0 {
+			return nil, 0, &csp.ErrUnsat{Reason: fmt.Sprintf(
+				"cluster at %s has no feasible anchor within bounds %dx%d on %s",
+				c.members[0].dest, bounds[c.prim][0], bounds[c.prim][1], c.prim)}
+		}
+		vars[ci] = p.NewVar(c.members[0].dest, dom)
+		if c.singleton() && c.members[0].xoff == 0 && c.members[0].yoff == 0 {
+			singles[c.prim] = append(singles[c.prim], vars[ci])
+		} else {
+			macros = append(macros, ci)
+		}
+	}
+	for _, vs := range singles {
+		if len(vs) > 1 {
+			p.AddAllDifferent(vs)
+		}
+	}
+	// Macro clusters: pairwise non-overlap with every same-prim cluster.
+	height := dev.Height
+	for _, mi := range macros {
+		mc := clusters[mi]
+		for cj, oc := range clusters {
+			if cj == mi || oc.prim != mc.prim {
+				continue
+			}
+			if cj < mi && containsInt(macros, cj) {
+				continue // macro-macro pairs added once
+			}
+			a, b := mc, oc
+			p.AddBinary(vars[mi], vars[cj], func(av, bv int) bool {
+				return !clustersOverlap(a, b, av, bv, height)
+			})
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, p.Steps(), err
+	}
+	out := make([]int, len(clusters))
+	for ci := range clusters {
+		out[ci] = sol[vars[ci]]
+	}
+	return out, p.Steps(), nil
+}
+
+// anchorDomain enumerates the anchor slices keeping every member of the
+// cluster within the device and the active bounds.
+func anchorDomain(dev *device.Device, c *cluster, b [2]int) []int {
+	maxX, maxY := b[0], b[1]
+	if maxX > dev.NumCols(c.prim) {
+		maxX = dev.NumCols(c.prim)
+	}
+	if maxY > dev.Height {
+		maxY = dev.Height
+	}
+	m0 := c.members[0]
+	var dom []int
+	for x := -c.minX; x+c.maxX < maxX; x++ {
+		if c.singleton() && m0.xlit >= 0 && x != m0.xlit {
+			continue
+		}
+		for y := -c.minY; y+c.maxY < maxY; y++ {
+			if c.singleton() && m0.ylit >= 0 && y != m0.ylit {
+				continue
+			}
+			id, err := dev.SliceID(c.prim, x, y)
+			if err != nil {
+				continue
+			}
+			dom = append(dom, id)
+		}
+	}
+	return dom
+}
+
+// clustersOverlap reports whether two clusters anchored at slice ids av,
+// bv occupy a common slice.
+func clustersOverlap(a, b *cluster, av, bv int, height int) bool {
+	ax, ay := av/height, av%height
+	bx, by := bv/height, bv%height
+	// Quick bounding-box rejection.
+	if ax+a.maxX < bx+b.minX || bx+b.maxX < ax+a.minX {
+		return false
+	}
+	if ay+a.maxY < by+b.minY || by+b.maxY < ay+a.minY {
+		return false
+	}
+	for _, ma := range a.members {
+		for _, mb := range b.members {
+			if ax+ma.xoff == bx+mb.xoff && ay+ma.yoff == by+mb.yoff {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// shrinkFloor lower-bounds an axis during shrinking: no bound can beat the
+// tallest/widest cluster span, nor pack more members than area allows.
+func shrinkFloor(clusters []*cluster, bounds map[ir.Resource][2]int, prim ir.Resource, axis int) int {
+	floor := 1
+	count := 0
+	for _, c := range clusters {
+		if c.prim != prim {
+			continue
+		}
+		count += len(c.members)
+		span := c.maxY - c.minY + 1
+		if axis == 0 {
+			span = c.maxX - c.minX + 1
+		}
+		if span > floor {
+			floor = span
+		}
+	}
+	// Area bound: members must fit within bound * other-axis extent.
+	other := bounds[prim][1-axis]
+	if other > 0 {
+		if byArea := (count + other - 1) / other; byArea > floor {
+			floor = byArea
+		}
+	}
+	return floor
+}
+
+// usedExtent returns the highest occupied column (axis 0) or row (axis 1)
+// for the primitive under the given solution.
+func usedExtent(dev *device.Device, clusters []*cluster, sol []int, prim ir.Resource, axis int) int {
+	best := 0
+	for ci, c := range clusters {
+		if c.prim != prim {
+			continue
+		}
+		ax, ay := dev.SliceCoords(sol[ci])
+		for _, m := range c.members {
+			v := ay + m.yoff
+			if axis == 0 {
+				v = ax + m.xoff
+			}
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+func cloneBounds(b map[ir.Resource][2]int) map[ir.Resource][2]int {
+	out := make(map[ir.Resource][2]int, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}

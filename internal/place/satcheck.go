@@ -1,0 +1,102 @@
+package place
+
+import (
+	"errors"
+	"fmt"
+
+	"reticle/internal/asm"
+	"reticle/internal/device"
+	"reticle/internal/ir"
+	"reticle/internal/sat"
+)
+
+// PlaceSAT solves the placement problem through the propositional route:
+// one Boolean variable per (cluster, anchor) pair, exactly-one per cluster,
+// and a conflict clause for every overlapping anchor pair. It exists as a
+// cross-check of the production CSP path (the paper phrases placement as a
+// SAT problem for Z3, §5.3); tests assert the two engines agree.
+//
+// The encoding is quadratic in anchors and is intended for small devices.
+func PlaceSAT(f *asm.Func, dev *device.Device) (map[string]Slot, error) {
+	clusters, err := buildClusters(f)
+	if err != nil {
+		return nil, err
+	}
+	counts := map[ir.Resource]int{}
+	for _, c := range clusters {
+		counts[c.prim] += len(c.members)
+	}
+	for prim, n := range counts {
+		if cap := dev.Capacity(prim); n > cap {
+			return nil, fmt.Errorf("place: %d %s instructions exceed device capacity %d",
+				n, prim, cap)
+		}
+	}
+	bounds := map[ir.Resource][2]int{
+		ir.ResLut: {dev.NumCols(ir.ResLut), dev.Height},
+		ir.ResDsp: {dev.NumCols(ir.ResDsp), dev.Height},
+	}
+
+	var s sat.Solver
+	type choice struct {
+		cluster int
+		anchor  int
+	}
+	var byLit []choice // literal var index - 1 -> choice
+	vars := make([][]sat.Lit, len(clusters))
+	domains := make([][]int, len(clusters))
+
+	for ci, c := range clusters {
+		dom := anchorDomain(dev, c, bounds[c.prim])
+		if len(dom) == 0 {
+			return nil, fmt.Errorf("place: cluster at %s has no feasible anchor", c.members[0].dest)
+		}
+		domains[ci] = dom
+		lits := make([]sat.Lit, len(dom))
+		for ai, a := range dom {
+			lits[ai] = s.NewVar()
+			byLit = append(byLit, choice{cluster: ci, anchor: a})
+		}
+		s.ExactlyOne(lits)
+		vars[ci] = lits
+	}
+
+	// Pairwise conflicts between same-primitive clusters.
+	for ci := 0; ci < len(clusters); ci++ {
+		for cj := ci + 1; cj < len(clusters); cj++ {
+			a, b := clusters[ci], clusters[cj]
+			if a.prim != b.prim {
+				continue
+			}
+			for ai, av := range domains[ci] {
+				for bi, bv := range domains[cj] {
+					if clustersOverlap(a, b, av, bv, dev.Height) {
+						s.AddClause(vars[ci][ai].Neg(), vars[cj][bi].Neg())
+					}
+				}
+			}
+		}
+	}
+
+	model, err := s.Solve()
+	if err != nil {
+		if errors.Is(err, sat.ErrUnsat) {
+			return nil, fmt.Errorf("place: unsatisfiable (SAT engine): %w", err)
+		}
+		return nil, err
+	}
+	slots := make(map[string]Slot)
+	for ci, lits := range vars {
+		for ai, l := range lits {
+			if !model[l.Var()-1] {
+				continue
+			}
+			ax, ay := dev.SliceCoords(domains[ci][ai])
+			for _, m := range clusters[ci].members {
+				slots[m.dest] = Slot{Prim: clusters[ci].prim, X: ax + m.xoff, Y: ay + m.yoff}
+			}
+			break
+		}
+	}
+	return slots, nil
+}

@@ -1,0 +1,315 @@
+package sat
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivialSat(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(a)
+	model, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model[0] {
+		t.Error("a should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	s.AddClause(a)
+	if ok := s.AddClause(a.Neg()); ok {
+		if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	var s Solver
+	if s.AddClause() {
+		t.Error("empty clause accepted")
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	var s Solver
+	a := s.NewVar()
+	if !s.AddClause(a, a.Neg()) {
+		t.Error("tautology rejected")
+	}
+	if _, err := s.Solve(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImplicationChain(t *testing.T) {
+	// a, a->b, b->c: all true.
+	var s Solver
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a)
+	s.AddClause(a.Neg(), b)
+	s.AddClause(b.Neg(), c)
+	model, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model[0] || !model[1] || !model[2] {
+		t.Errorf("model = %v", model)
+	}
+}
+
+func TestRequiresBacktracking(t *testing.T) {
+	// (a|b) & (a|~b) & (~a|c) & (~a|~c) is unsat in a after propagation
+	// forced by decisions.
+	var s Solver
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(a, b)
+	s.AddClause(a, b.Neg())
+	s.AddClause(a.Neg(), c)
+	s.AddClause(a.Neg(), c.Neg())
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// 4 pigeons, 3 holes: classic small unsat instance exercising learning.
+	var s Solver
+	const pigeons, holes = 4, 3
+	lit := make([][]Lit, pigeons)
+	for p := range lit {
+		lit[p] = make([]Lit, holes)
+		for h := range lit[p] {
+			lit[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		s.AddClause(lit[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(lit[p1][h].Neg(), lit[p2][h].Neg())
+			}
+		}
+	}
+	if _, err := s.Solve(); !errors.Is(err, ErrUnsat) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.Conflicts == 0 {
+		t.Error("pigeonhole solved without conflicts?")
+	}
+}
+
+func TestGraphColoring(t *testing.T) {
+	// 3-color a 5-cycle (SAT), then try 2 colors (UNSAT).
+	color := func(colors int) error {
+		var s Solver
+		const n = 5
+		lits := make([][]Lit, n)
+		for v := range lits {
+			lits[v] = make([]Lit, colors)
+			for c := range lits[v] {
+				lits[v][c] = s.NewVar()
+			}
+			s.ExactlyOne(lits[v])
+		}
+		for v := 0; v < n; v++ {
+			w := (v + 1) % n
+			for c := 0; c < colors; c++ {
+				s.AddClause(lits[v][c].Neg(), lits[w][c].Neg())
+			}
+		}
+		_, err := s.Solve()
+		return err
+	}
+	if err := color(3); err != nil {
+		t.Errorf("3-coloring: %v", err)
+	}
+	if err := color(2); !errors.Is(err, ErrUnsat) {
+		t.Errorf("2-coloring: %v", err)
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	var s Solver
+	lits := []Lit{s.NewVar(), s.NewVar(), s.NewVar(), s.NewVar()}
+	s.ExactlyOne(lits)
+	model, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, m := range model {
+		if m {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d variables true, want 1", count)
+	}
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the solver on random small
+// formulas against exhaustive enumeration.
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 300; iter++ {
+		nVars := 3 + rng.Intn(6) // 3..8
+		nClauses := 2 + rng.Intn(25)
+		type cl [3]Lit
+		var formula []cl
+		for i := 0; i < nClauses; i++ {
+			var c cl
+			for k := 0; k < 3; k++ {
+				v := 1 + rng.Intn(nVars)
+				if rng.Intn(2) == 0 {
+					c[k] = Lit(v)
+				} else {
+					c[k] = Lit(-v)
+				}
+			}
+			formula = append(formula, c)
+		}
+		// Brute force.
+		bruteSat := false
+		for mask := 0; mask < 1<<nVars; mask++ {
+			ok := true
+			for _, c := range formula {
+				clauseOK := false
+				for _, l := range c {
+					bit := mask>>(l.Var()-1)&1 == 1
+					if bit == l.Sign() {
+						clauseOK = true
+						break
+					}
+				}
+				if !clauseOK {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bruteSat = true
+				break
+			}
+		}
+		// Solver.
+		var s Solver
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		pre := true
+		for _, c := range formula {
+			if !s.AddClause(c[0], c[1], c[2]) {
+				pre = false
+				break
+			}
+		}
+		var solverSat bool
+		var err error
+		if !pre {
+			solverSat = false
+		} else {
+			var model []bool
+			model, err = s.Solve()
+			switch {
+			case err == nil:
+				solverSat = true
+				// Verify the model satisfies the formula.
+				for _, c := range formula {
+					ok := false
+					for _, l := range c {
+						if model[l.Var()-1] == l.Sign() {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("iter %d: model does not satisfy clause %v", iter, c)
+					}
+				}
+			case errors.Is(err, ErrUnsat):
+				solverSat = false
+			default:
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+		if solverSat != bruteSat {
+			t.Fatalf("iter %d: solver says %v, brute force says %v (%d vars, %d clauses)",
+				iter, solverSat, bruteSat, nVars, nClauses)
+		}
+	}
+}
+
+func TestConflictLimit(t *testing.T) {
+	var s Solver
+	s.MaxConflicts = 1
+	const pigeons, holes = 6, 5
+	lit := make([][]Lit, pigeons)
+	for p := range lit {
+		lit[p] = make([]Lit, holes)
+		for h := range lit[p] {
+			lit[p][h] = s.NewVar()
+		}
+		s.AddClause(lit[p]...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(lit[p1][h].Neg(), lit[p2][h].Neg())
+			}
+		}
+	}
+	if _, err := s.Solve(); !errors.Is(err, ErrLimit) && !errors.Is(err, ErrUnsat) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := Lit(3)
+	if l.Var() != 3 || !l.Sign() || l.Neg() != Lit(-3) || l.Neg().Var() != 3 {
+		t.Error("lit helpers broken")
+	}
+	if l.String() != "3" || l.Neg().String() != "-3" {
+		t.Error("lit String broken")
+	}
+}
+
+// Property: duplicate literals in clauses never change satisfiability.
+func TestDuplicateLiteralsHarmless(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s1, s2 Solver
+		n := 4
+		for v := 0; v < n; v++ {
+			s1.NewVar()
+			s2.NewVar()
+		}
+		for i := 0; i < 6; i++ {
+			a := Lit(1 + rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				a = a.Neg()
+			}
+			b := Lit(1 + rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				b = b.Neg()
+			}
+			s1.AddClause(a, b)
+			s2.AddClause(a, b, a, b, a)
+		}
+		_, e1 := s1.Solve()
+		_, e2 := s2.Solve()
+		return errors.Is(e1, ErrUnsat) == errors.Is(e2, ErrUnsat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

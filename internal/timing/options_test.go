@@ -1,0 +1,106 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"reticle/internal/asm"
+	"reticle/internal/target/ultrascale"
+)
+
+func TestReportStringFormat(t *testing.T) {
+	r := Report{CriticalNs: 1.25, FMaxMHz: 800, Path: []string{"a", "b"}}
+	s := r.String()
+	for _, want := range []string{"1.250 ns", "800.0 MHz", "a -> b"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestCriticalPathNamesTheSlowestChain(t *testing.T) {
+	// Two independent paths; the mul chain is slower and must be reported.
+	f, err := asm.Parse(`
+def two(a:i8, b:i8, c:i8) -> (fast:i8, slow:i8) {
+    fast:i8 = dsp_add_i8(a, b) @dsp(0, 0);
+    m:i8 = dsp_mul_i8(a, b) @dsp(0, 1);
+    slow:i8 = dsp_mul_i8(m, c) @dsp(0, 2);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(f, ultrascale.Target(), ultrascale.Device(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Path) == 0 || rep.Path[len(rep.Path)-1] != "slow" {
+		t.Errorf("critical path = %v, want it to end at slow", rep.Path)
+	}
+	joined := strings.Join(rep.Path, " ")
+	if !strings.Contains(joined, "m") {
+		t.Errorf("path should pass through m: %v", rep.Path)
+	}
+}
+
+func TestSetupTimeCountsAtRegisterInputs(t *testing.T) {
+	// A registered op's path must include its setup: it's slower than the
+	// same op feeding an output port directly.
+	comb, err := asm.Parse(`
+def c(a:i8, b:i8) -> (y:i8) {
+    y:i8 = dsp_add_i8(a, b) @dsp(0, 0);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := asm.Parse(`
+def r(a:i8, b:i8, en:bool) -> (y:i8) {
+    y:i8 = dsp_addrega_i8(a, b, en) @dsp(0, 0);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	rc, err := Analyze(comb, ultrascale.Target(), ultrascale.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Analyze(reg, ultrascale.Target(), ultrascale.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rc.CriticalNs + opts.SetupNs
+	if diff := rr.CriticalNs - want; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("registered path = %.3f, want %.3f (comb %.3f + setup %.3f)",
+			rr.CriticalNs, want, rc.CriticalNs, opts.SetupNs)
+	}
+}
+
+func TestRegisterOutputStartsFresh(t *testing.T) {
+	// A long chain BEFORE a register must not leak into the path that
+	// starts at the register's output.
+	f, err := asm.Parse(`
+def p(a:i8, b:i8, en:bool) -> (y:i8) {
+    t0:i8 = dsp_mul_i8(a, b) @dsp(0, 0);
+    t1:i8 = dsp_mul_i8(t0, b) @dsp(0, 1);
+    r:i8 = dsp_reg_i8(t1, en) @dsp(0, 2);
+    y:i8 = dsp_add_i8(r, a) @dsp(0, 3);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	rep, err := Analyze(f, ultrascale.Target(), ultrascale.Device(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worst path is the two-mul cone into the register, not the sum of
+	// everything.
+	upper := opts.RouteBaseNs*2 + 0.9*2 + opts.SetupNs + 0.7 + 1.0 // loose bound
+	if rep.CriticalNs > upper {
+		t.Errorf("critical %.3f exceeds loose bound %.3f: register did not cut", rep.CriticalNs, upper)
+	}
+}

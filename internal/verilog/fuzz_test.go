@@ -1,0 +1,45 @@
+package verilog
+
+import "testing"
+
+// FuzzParseModule checks the Verilog parser never panics and that anything
+// it accepts round-trips through the printer.
+func FuzzParseModule(f *testing.F) {
+	seeds := []string{
+		"module m(input a, output y);\n    assign y = a;\nendmodule",
+		`(* use_dsp = "yes" *)
+module h(input clk, input [7:0] a, output [7:0] y);
+    reg [7:0] q = 8'h3;
+    assign y = q;
+    always @(posedge clk) begin
+        if (a[0]) begin
+            q <= a + q;
+        end
+    end
+endmodule`,
+		`module i(input a, output y);
+    (* LOC = "SLICE_X0Y0", BEL = "A6LUT" *)
+    LUT2 # (.INIT(4'h8))
+        i0 (.I0(a), .I1(a), .O(y));
+endmodule`,
+		"module bad(",
+		"module m(output y); assign y = {3{1'b0}}; endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src)
+		if err != nil {
+			return
+		}
+		printed := m.String()
+		back, err := ParseModule(printed)
+		if err != nil {
+			t.Fatalf("printed form does not reparse: %v\n%s", err, printed)
+		}
+		if back.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", printed, back.String())
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokKind classifies Verilog tokens for the structural-subset parser.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // plain decimal
+	tokSized  // sized literal: 8'hff
+	tokString
+	tokPunct // operators and delimiters, including "(*", "*)", "<=", ">>>"
+)
+
+type vtok struct {
+	kind  tokKind
+	text  string
+	num   int64
+	width int    // for sized literals
+	value uint64 // for sized literals
+	line  int
+}
+
+func (t vtok) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// vlex tokenizes the structural Verilog subset the printer emits.
+type vlex struct {
+	src  string
+	pos  int
+	line int
+	err  error
+}
+
+func newVlex(src string) *vlex { return &vlex{src: src, line: 1} }
+
+var multiPunct = []string{"(*", "*)", "<=", ">=", ">>>", ">>", "<<", "==", "!="}
+
+func (l *vlex) next() vtok {
+	l.skip()
+	line := l.line
+	if l.pos >= len(l.src) {
+		return vtok{kind: tokEOF, line: line}
+	}
+	// Multi-rune punctuation first.
+	for _, p := range multiPunct {
+		if strings.HasPrefix(l.src[l.pos:], p) {
+			l.advance(len(p))
+			return vtok{kind: tokPunct, text: p, line: line}
+		}
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch {
+	case r == '"':
+		start := l.pos
+		l.advance(size)
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.advance(1) // skip the escaped character
+			}
+			l.advance(1)
+		}
+		if l.pos >= len(l.src) {
+			if l.err == nil {
+				l.err = fmt.Errorf("verilog: line %d: unterminated string", line)
+			}
+			return vtok{kind: tokString, line: line}
+		}
+		l.advance(1) // closing quote
+		raw := l.src[start:l.pos]
+		// The printer emits Go-quoted strings (%q); Unquote inverts it.
+		text, err := strconv.Unquote(raw)
+		if err != nil {
+			l.fail(line, "bad string literal %s", raw)
+			text = raw
+		}
+		return vtok{kind: tokString, text: text, line: line}
+	case r == '$' || r == '_' || unicode.IsLetter(r):
+		start := l.pos
+		l.advance(size)
+		for l.pos < len(l.src) {
+			r2, s2 := utf8.DecodeRuneInString(l.src[l.pos:])
+			if r2 != '_' && r2 != '$' && !unicode.IsLetter(r2) && !unicode.IsDigit(r2) {
+				break
+			}
+			l.advance(s2)
+		}
+		return vtok{kind: tokIdent, text: l.src[start:l.pos], line: line}
+	case unicode.IsDigit(r) || (r == '-' && l.digitAt(l.pos+size)):
+		start := l.pos
+		l.advance(size)
+		for l.pos < len(l.src) && isDigitByte(l.src[l.pos]) {
+			l.advance(1)
+		}
+		numText := l.src[start:l.pos]
+		// Sized literal?
+		if l.pos < len(l.src) && l.src[l.pos] == '\'' {
+			l.advance(1)
+			if l.pos >= len(l.src) {
+				l.fail(line, "dangling sized literal")
+				return vtok{kind: tokEOF, line: line}
+			}
+			base := l.src[l.pos]
+			l.advance(1)
+			vstart := l.pos
+			for l.pos < len(l.src) && isBaseDigit(l.src[l.pos], base) {
+				l.advance(1)
+			}
+			digits := l.src[vstart:l.pos]
+			width, err1 := strconv.Atoi(numText)
+			val, err2 := parseBase(digits, base)
+			if err1 != nil || err2 != nil {
+				l.fail(line, "bad sized literal %s'%c%s", numText, base, digits)
+			}
+			return vtok{kind: tokSized, text: numText + "'" + string(base) + digits,
+				width: width, value: val, line: line}
+		}
+		n, err := strconv.ParseInt(numText, 10, 64)
+		if err != nil {
+			l.fail(line, "bad number %q", numText)
+		}
+		return vtok{kind: tokNumber, text: numText, num: n, line: line}
+	default:
+		l.advance(size)
+		return vtok{kind: tokPunct, text: string(r), line: line}
+	}
+}
+
+func (l *vlex) skip() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *vlex) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+		}
+		l.pos++
+	}
+}
+
+func (l *vlex) digitAt(p int) bool { return p < len(l.src) && isDigitByte(l.src[p]) }
+
+func (l *vlex) fail(line int, format string, args ...interface{}) {
+	if l.err == nil {
+		l.err = fmt.Errorf("verilog: line %d: "+format, append([]interface{}{line}, args...)...)
+	}
+}
+
+func isDigitByte(c byte) bool { return c >= '0' && c <= '9' }
+
+func isBaseDigit(c, base byte) bool {
+	switch base {
+	case 'h', 'H':
+		return isDigitByte(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	case 'b', 'B':
+		return c == '0' || c == '1'
+	case 'd', 'D':
+		return isDigitByte(c)
+	default:
+		return false
+	}
+}
+
+func parseBase(digits string, base byte) (uint64, error) {
+	switch base {
+	case 'h', 'H':
+		return strconv.ParseUint(digits, 16, 64)
+	case 'b', 'B':
+		return strconv.ParseUint(digits, 2, 64)
+	case 'd', 'D':
+		return strconv.ParseUint(digits, 10, 64)
+	default:
+		return 0, fmt.Errorf("base %c", base)
+	}
+}

@@ -1,0 +1,242 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module as Verilog source.
+func (m *Module) String() string {
+	var b strings.Builder
+	p := printer{b: &b}
+	p.module(m)
+	return b.String()
+}
+
+type printer struct {
+	b      *strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...interface{}) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) module(m *Module) {
+	if len(m.Attrs) > 0 {
+		p.line("%s", attrText(m.Attrs))
+	}
+	var ports []string
+	for _, port := range m.Ports {
+		ports = append(ports, portText(port))
+	}
+	p.line("module %s(%s);", m.Name, strings.Join(ports, ", "))
+	p.indent++
+	for _, item := range m.Items {
+		p.item(item)
+	}
+	p.indent--
+	p.line("endmodule")
+}
+
+func portText(port Port) string {
+	var b strings.Builder
+	b.WriteString(port.Dir.String())
+	if port.Reg {
+		b.WriteString(" reg")
+	}
+	if port.Width > 1 {
+		fmt.Fprintf(&b, " [%d:0]", port.Width-1)
+	}
+	b.WriteByte(' ')
+	b.WriteString(port.Name)
+	return b.String()
+}
+
+func attrText(attrs []Attr) string {
+	var parts []string
+	for _, a := range attrs {
+		parts = append(parts, fmt.Sprintf("%s = %q", a.Key, a.Value))
+	}
+	return "(* " + strings.Join(parts, ", ") + " *)"
+}
+
+func widthText(width int) string {
+	if width > 1 {
+		return fmt.Sprintf(" [%d:0]", width-1)
+	}
+	return ""
+}
+
+func (p *printer) item(item Item) {
+	switch it := item.(type) {
+	case Wire:
+		p.line("wire%s %s;", widthText(it.Width), it.Name)
+	case Reg:
+		if it.HasInit {
+			p.line("reg%s %s = %s;", widthText(it.Width), it.Name,
+				ExprString(HexLit(it.Width, uint64(it.Init))))
+		} else {
+			p.line("reg%s %s;", widthText(it.Width), it.Name)
+		}
+	case Assign:
+		p.line("assign %s = %s;", ExprString(it.LHS), ExprString(it.RHS))
+	case Instance:
+		p.instance(it)
+	case AlwaysFF:
+		p.line("always @(posedge %s) begin", it.Clock)
+		p.indent++
+		for _, s := range it.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("end")
+	case AlwaysComb:
+		p.line("always @* begin")
+		p.indent++
+		for _, s := range it.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("end")
+	case Comment:
+		p.line("// %s", string(it))
+	case Raw:
+		for _, ln := range strings.Split(strings.TrimRight(string(it), "\n"), "\n") {
+			p.line("%s", ln)
+		}
+	default:
+		p.line("// verilog: unknown item %T", item)
+	}
+}
+
+func (p *printer) instance(it Instance) {
+	if len(it.Attrs) > 0 {
+		p.line("%s", attrText(it.Attrs))
+	}
+	head := it.Module
+	if len(it.Params) > 0 {
+		head += " # (" + connText(it.Params) + ")"
+	}
+	p.line("%s", head)
+	p.indent++
+	p.line("%s (%s);", it.Name, connText(it.Ports))
+	p.indent--
+}
+
+func connText(conns []Connection) string {
+	var parts []string
+	for _, c := range conns {
+		parts = append(parts, fmt.Sprintf(".%s(%s)", c.Name, ExprString(c.Expr)))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case NonBlocking:
+		p.line("%s <= %s;", ExprString(st.LHS), ExprString(st.RHS))
+	case Blocking:
+		p.line("%s = %s;", ExprString(st.LHS), ExprString(st.RHS))
+	case If:
+		p.line("if (%s) begin", ExprString(st.Cond))
+		p.indent++
+		for _, t := range st.Then {
+			p.stmt(t)
+		}
+		p.indent--
+		if len(st.Else) > 0 {
+			p.line("end else begin")
+			p.indent++
+			for _, e := range st.Else {
+				p.stmt(e)
+			}
+			p.indent--
+		}
+		p.line("end")
+	case Case:
+		p.line("case (%s)", ExprString(st.Subject))
+		p.indent++
+		for _, arm := range st.Arms {
+			p.line("%s: begin", ExprString(arm.Match))
+			p.indent++
+			for _, t := range arm.Stmts {
+				p.stmt(t)
+			}
+			p.indent--
+			p.line("end")
+		}
+		if len(st.Default) > 0 {
+			p.line("default: begin")
+			p.indent++
+			for _, t := range st.Default {
+				p.stmt(t)
+			}
+			p.indent--
+			p.line("end")
+		}
+		p.indent--
+		p.line("endcase")
+	default:
+		p.line("// verilog: unknown stmt %T", s)
+	}
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	switch ex := e.(type) {
+	case Ref:
+		return string(ex)
+	case Lit:
+		if ex.Width == 0 {
+			return fmt.Sprintf("%d", ex.Value)
+		}
+		return fmt.Sprintf("%d'h%x", ex.Width, ex.Value)
+	case Int:
+		return fmt.Sprintf("%d", int64(ex))
+	case Str:
+		return fmt.Sprintf("%q", string(ex))
+	case Unary:
+		if len(ex.Op) > 1 { // function-like operators such as $signed
+			return ex.Op + "(" + ExprString(ex.X) + ")"
+		}
+		return ex.Op + paren(ex.X)
+	case Binary:
+		return paren(ex.A) + " " + ex.Op + " " + paren(ex.B)
+	case Ternary:
+		return paren(ex.Cond) + " ? " + paren(ex.Then) + " : " + paren(ex.Else)
+	case Concat:
+		var parts []string
+		for _, p := range ex.Parts {
+			parts = append(parts, ExprString(p))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case Slice:
+		if ex.Single {
+			return fmt.Sprintf("%s[%d]", paren(ex.X), ex.Hi)
+		}
+		return fmt.Sprintf("%s[%d:%d]", paren(ex.X), ex.Hi, ex.Lo)
+	case Repeat:
+		return fmt.Sprintf("{%d{%s}}", ex.N, ExprString(ex.X))
+	default:
+		return fmt.Sprintf("/* unknown expr %T */", e)
+	}
+}
+
+// paren wraps compound subexpressions so the printer never depends on
+// Verilog precedence.
+func paren(e Expr) string {
+	switch ex := e.(type) {
+	case Ref, Lit, Int, Concat, Slice, Repeat:
+		return ExprString(e)
+	case Unary:
+		if len(ex.Op) > 1 { // $signed(x) is already self-delimiting
+			return ExprString(e)
+		}
+		return "(" + ExprString(e) + ")"
+	default:
+		return "(" + ExprString(e) + ")"
+	}
+}

@@ -1,0 +1,187 @@
+package vivado
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reticle/internal/device"
+	"reticle/internal/ir"
+)
+
+// AnnealOptions tunes the placement metaheuristic.
+type AnnealOptions struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// MovesPerCell scales the annealing schedule length.
+	MovesPerCell int
+	// MinMoves bounds the schedule from below (tool startup cost: even a
+	// trivial design takes a full annealing schedule).
+	MinMoves int
+}
+
+// DefaultAnnealOptions mirrors a traditional tool's effort level.
+func DefaultAnnealOptions() AnnealOptions {
+	return AnnealOptions{Seed: 1, MovesPerCell: 3000, MinMoves: 400_000}
+}
+
+// PlaceNetlist assigns every placeable cell a slice by simulated annealing
+// on total wirelength — the randomized metaheuristic that dominates
+// traditional compile times (§1). It returns the number of moves evaluated.
+func PlaceNetlist(net *Netlist, dev *device.Device, opts AnnealOptions) (int, error) {
+	if opts.MovesPerCell == 0 {
+		opts = DefaultAnnealOptions()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Gather placeable cells per resource.
+	var placeable []*Cell
+	counts := map[ir.Resource]int{}
+	for _, c := range net.LiveCells() {
+		if c.Kind == CellWire {
+			continue
+		}
+		placeable = append(placeable, c)
+		counts[c.Prim]++
+	}
+	for prim, n := range counts {
+		if cap := dev.Capacity(prim); n > cap {
+			return 0, fmt.Errorf("vivado: %d %s cells exceed device capacity %d", n, prim, cap)
+		}
+	}
+	if len(placeable) == 0 {
+		return 0, nil
+	}
+
+	// Initial placement: random slots per resource, as annealers start.
+	// The schedule's job is to recover locality from here; what it fails
+	// to recover is the method's cost.
+	perms := map[ir.Resource][]int{
+		ir.ResLut: rng.Perm(dev.Capacity(ir.ResLut)),
+		ir.ResDsp: rng.Perm(dev.Capacity(ir.ResDsp)),
+	}
+	next := map[ir.Resource]int{}
+	slotOwner := map[ir.Resource][]int{
+		ir.ResLut: makeOwners(dev.Capacity(ir.ResLut)),
+		ir.ResDsp: makeOwners(dev.Capacity(ir.ResDsp)),
+	}
+	for _, c := range placeable {
+		c.Slot = perms[c.Prim][next[c.Prim]]
+		next[c.Prim]++
+		slotOwner[c.Prim][c.Slot] = c.ID
+	}
+
+	// Incident nets per cell (both directions) for delta evaluation.
+	// Only placeable endpoints matter: wire cells are looked through on
+	// the producer side and skipped as consumers.
+	incident := make(map[int][]int, len(net.Cells))
+	for _, c := range net.LiveCells() {
+		if c.Kind == CellWire {
+			continue
+		}
+		for _, a := range c.Args {
+			if a < 0 {
+				continue
+			}
+			p := net.Cells[resolveWire(net, a)]
+			if p.Kind == CellWire || p.dead {
+				continue
+			}
+			incident[c.ID] = append(incident[c.ID], p.ID)
+			incident[p.ID] = append(incident[p.ID], c.ID)
+		}
+	}
+
+	dist := func(a, b *Cell) float64 {
+		ax, ay := dev.SliceCoords(a.Slot)
+		bx, by := dev.SliceCoords(b.Slot)
+		gax, _ := dev.GlobalX(a.Prim, ax)
+		gbx, _ := dev.GlobalX(b.Prim, bx)
+		return math.Abs(float64(gax-gbx)) + math.Abs(float64(ay-by))
+	}
+	cellCost := func(c *Cell) float64 {
+		if c.Kind == CellWire {
+			return 0
+		}
+		sum := 0.0
+		for _, o := range incident[c.ID] {
+			sum += dist(c, net.Cells[o])
+		}
+		return sum
+	}
+
+	moves := opts.MovesPerCell * len(placeable)
+	if moves < opts.MinMoves {
+		moves = opts.MinMoves
+	}
+	temp := 20.0
+	cool := math.Pow(0.05/temp, 1.0/float64(moves))
+
+	for m := 0; m < moves; m++ {
+		c := placeable[rng.Intn(len(placeable))]
+		cap := dev.Capacity(c.Prim)
+		target := rng.Intn(cap)
+		if target == c.Slot {
+			temp *= cool
+			continue
+		}
+		owners := slotOwner[c.Prim]
+		otherID := owners[target]
+		var other *Cell
+		if otherID >= 0 {
+			other = net.Cells[otherID]
+		}
+		before := cellCost(c)
+		if other != nil {
+			before += cellCost(other)
+		}
+		oldSlot := c.Slot
+		c.Slot = target
+		if other != nil {
+			other.Slot = oldSlot
+		}
+		after := cellCost(c)
+		if other != nil {
+			after += cellCost(other)
+		}
+		delta := after - before
+		if delta > 0 && rng.Float64() >= math.Exp(-delta/temp) {
+			// Reject: undo.
+			c.Slot = oldSlot
+			if other != nil {
+				other.Slot = target
+			}
+		} else {
+			owners[target] = c.ID
+			owners[oldSlot] = -1
+			if other != nil {
+				owners[oldSlot] = other.ID
+			}
+		}
+		temp *= cool
+	}
+	return moves, nil
+}
+
+func makeOwners(n int) []int {
+	o := make([]int, n)
+	for i := range o {
+		o[i] = -1
+	}
+	return o
+}
+
+// resolveWire follows wire cells to the physical producer.
+func resolveWire(net *Netlist, id int) int {
+	seen := 0
+	for {
+		c := net.Cells[id]
+		if c.Kind != CellWire || len(c.Args) == 0 || c.Args[0] < 0 {
+			return id
+		}
+		id = c.Args[0]
+		if seen++; seen > len(net.Cells) {
+			return id
+		}
+	}
+}

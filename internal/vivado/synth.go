@@ -1,0 +1,482 @@
+package vivado
+
+import (
+	"fmt"
+
+	"reticle/internal/device"
+	"reticle/internal/ir"
+)
+
+// Delay constants (ns): the same silicon as the Reticle target's latency
+// table (internal/target/ultrascale), expressed directly in nanoseconds.
+const (
+	lutLevelNs = 0.2
+	dspAddNs   = 0.7
+	dspMulNs   = 0.9
+	dspMacNs   = 1.1
+	dspCascNs  = 0.1 // cascade port mux, matching the _ci TDL variants
+	ffInNs     = 0.05
+)
+
+func carryNs(w int) float64 { return 0.8 + 0.2*float64((w+7)/8) }
+
+func cmpNs(w int) float64 {
+	levels := 1
+	for v := 1; v < w; v *= 3 {
+		levels++
+	}
+	return lutLevelNs * float64(levels)
+}
+
+func lutMulNs(w int) float64 {
+	levels := 2
+	for v := 1; v < w; v <<= 1 {
+		levels++
+	}
+	return lutLevelNs * float64(levels)
+}
+
+// Synthesize maps a behavioral program (an IR function without resource or
+// layout annotations — what the behavioral Verilog backends emit) onto a
+// cell netlist, following the heuristics of a traditional toolchain.
+//
+// With hint=false, the cost model sends multiplications to DSPs and
+// everything else to LUT fabric. With hint=true (the "(* use_dsp *)"
+// baseline), additions and subtractions also request DSPs — but only in
+// scalar configurations, and only while DSPs remain; overflow silently
+// falls back to LUTs, exactly the unpredictability §2 describes.
+func Synthesize(f *ir.Func, dev *device.Device, hint bool) (*Netlist, error) {
+	if err := ir.Check(f); err != nil {
+		return nil, err
+	}
+	if _, _, err := ir.CheckWellFormed(f); err != nil {
+		return nil, err
+	}
+	s := &synth{
+		dev:    dev,
+		hint:   hint,
+		net:    &Netlist{},
+		lanes:  make(map[string][]int),
+		types:  f.InputTypes(),
+		budget: dev.Capacity(ir.ResDsp),
+	}
+	for _, in := range f.Body {
+		s.types[in.Dest] = in.Type
+	}
+	// Inputs: lane ids are -1 (off-chip).
+	for _, p := range f.Inputs {
+		ids := make([]int, p.Type.Lanes())
+		for i := range ids {
+			ids[i] = -1
+		}
+		s.lanes[p.Name] = ids
+	}
+	// Pass 1: create cells for every instruction (lane-scalarized), leaving
+	// argument wiring for pass 2 so feedback through registers resolves.
+	type pending struct {
+		in    ir.Instr
+		cells []int
+	}
+	var work []pending
+	for _, in := range f.Body {
+		cells := s.createCells(in)
+		s.lanes[in.Dest] = cells
+		work = append(work, pending{in: in, cells: cells})
+	}
+	// Pass 2: wire arguments.
+	for _, w := range work {
+		if err := s.connect(w.in, w.cells); err != nil {
+			return nil, fmt.Errorf("vivado: %s: %w", w.in.Dest, err)
+		}
+	}
+	for _, p := range f.Outputs {
+		for _, id := range s.lanes[p.Name] {
+			if id >= 0 {
+				s.net.Outputs = append(s.net.Outputs, id)
+			}
+		}
+	}
+	s.resolveAliases()
+
+	// Optimization passes.
+	if hint {
+		s.fuseMulAdd()
+		s.absorbRegisters()
+		s.inferCascades()
+	}
+	s.packLuts()
+	s.net.recount()
+	return s.net, nil
+}
+
+type synth struct {
+	dev    *device.Device
+	hint   bool
+	net    *Netlist
+	lanes  map[string][]int   // value name -> cell id per lane
+	types  map[string]ir.Type // value name -> declared type
+	budget int                // remaining DSP slices
+}
+
+func (s *synth) newCell(c Cell) int {
+	c.ID = len(s.net.Cells)
+	c.CascadeWith = -1
+	s.net.Cells = append(s.net.Cells, &c)
+	return c.ID
+}
+
+// createCells makes one cell per lane of the instruction's result.
+func (s *synth) createCells(in ir.Instr) []int {
+	lanes := in.Type.Lanes()
+	w := in.Type.Width()
+	out := make([]int, lanes)
+	for l := 0; l < lanes; l++ {
+		name := in.Dest
+		if lanes > 1 {
+			name = fmt.Sprintf("%s.%d", in.Dest, l)
+		}
+		out[l] = s.newCell(s.cellFor(in, name, w))
+	}
+	return out
+}
+
+// cellFor applies the mapping cost model to one scalarized operation.
+func (s *synth) cellFor(in ir.Instr, name string, w int) Cell {
+	switch in.Op {
+	case ir.OpConst, ir.OpId, ir.OpSll, ir.OpSrl, ir.OpSra, ir.OpSlice, ir.OpCat:
+		return Cell{Kind: CellWire, Name: name, Width: w}
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: w,
+			InPerBit: 2, Packable: true, DelayNs: lutLevelNs, Prim: ir.ResLut}
+	case ir.OpNot:
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: w,
+			InPerBit: 1, Packable: true, DelayNs: lutLevelNs, Prim: ir.ResLut}
+	case ir.OpMux:
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: w,
+			InPerBit: 3, Packable: true, DelayNs: lutLevelNs, Prim: ir.ResLut}
+	case ir.OpEq, ir.OpNeq, ir.OpLt, ir.OpGt, ir.OpLe, ir.OpGe:
+		// Comparators are sized by their operand width, not the 1-bit
+		// result: one equality LUT per operand bit plus the carry chain.
+		ow := s.types[in.Args[0]].Bits()
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: ow,
+			DelayNs: cmpNs(ow), Prim: ir.ResLut}
+	case ir.OpAdd, ir.OpSub:
+		if s.hint && s.budget > 0 && w <= 48 {
+			s.budget--
+			return Cell{Kind: CellDsp, Name: name, Width: w,
+				DelayNs: dspAddNs, Prim: ir.ResDsp}
+		}
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: w,
+			DelayNs: carryNs(w), Prim: ir.ResLut}
+	case ir.OpMul:
+		// The cost model always prefers DSPs for multiplication (§2).
+		if s.budget > 0 && w <= 27 {
+			s.budget--
+			return Cell{Kind: CellDsp, Name: name, Width: w,
+				DelayNs: dspMulNs, Prim: ir.ResDsp}
+		}
+		return Cell{Kind: CellLut, Name: name, Width: w, Luts: w * w,
+			DelayNs: lutMulNs(w), Prim: ir.ResLut}
+	case ir.OpReg:
+		return Cell{Kind: CellFF, Name: name, Width: w,
+			DelayNs: ffInNs, Stateful: true, Prim: ir.ResLut}
+	default:
+		// Exhaustive over the IR ops; checked functions cannot reach here.
+		panic(fmt.Sprintf("vivado: unmapped op %s", in.Op))
+	}
+}
+
+// connect wires each lane cell's arguments.
+func (s *synth) connect(in ir.Instr, cells []int) error {
+	argLanes := make([][]int, len(in.Args))
+	for i, a := range in.Args {
+		ls, ok := s.lanes[a]
+		if !ok {
+			return fmt.Errorf("argument %q has no cells", a)
+		}
+		argLanes[i] = ls
+	}
+	for l, id := range cells {
+		c := s.net.Cells[id]
+		switch in.Op {
+		case ir.OpSlice:
+			src := argLanes[0]
+			if len(src) > 1 { // vector lane extraction
+				c.Args = []int{src[int(in.Attrs[0])]}
+			} else {
+				c.Args = []int{src[0]}
+			}
+		case ir.OpCat:
+			if len(cells) > 1 { // vector concat: lane l comes from one side
+				a := argLanes[0]
+				if l < len(a) {
+					c.Args = []int{a[l]}
+				} else {
+					c.Args = []int{argLanes[1][l-len(a)]}
+				}
+			} else {
+				c.Args = []int{argLanes[0][0], argLanes[1][0]}
+			}
+		case ir.OpMux:
+			// Condition is scalar; data operands are per-lane.
+			c.Args = []int{argLanes[0][0], lane(argLanes[1], l), lane(argLanes[2], l)}
+		case ir.OpReg:
+			c.Args = []int{lane(argLanes[0], l), argLanes[1][0]}
+		default:
+			for i := range in.Args {
+				c.Args = append(c.Args, lane(argLanes[i], l))
+			}
+		}
+	}
+	return nil
+}
+
+func lane(ids []int, l int) int {
+	if l < len(ids) {
+		return ids[l]
+	}
+	return ids[0]
+}
+
+// resolveAliases canonicalizes every argument through transparent wiring
+// (single-input wire cells: identities, slices, shifts), so the
+// optimization passes see the physical producer directly. Front-end-
+// introduced aliases must not hide fusion or packing opportunities —
+// synthesis tools sweep such buffers first.
+func (s *synth) resolveAliases() {
+	target := func(id int) int {
+		seen := 0
+		for id >= 0 {
+			c := s.net.Cells[id]
+			if c.Kind != CellWire || len(c.Args) != 1 || c.Args[0] < 0 {
+				break
+			}
+			id = c.Args[0]
+			if seen++; seen > len(s.net.Cells) {
+				break
+			}
+		}
+		return id
+	}
+	for _, c := range s.net.Cells {
+		for k, a := range c.Args {
+			if a >= 0 {
+				c.Args[k] = target(a)
+			}
+		}
+	}
+	for k, o := range s.net.Outputs {
+		s.net.Outputs[k] = target(o)
+	}
+	// Sweep wiring that nothing references anymore; stale fanout would
+	// otherwise inflate use counts and block packing and fusion.
+	for changed := true; changed; {
+		changed = false
+		uses := s.useCounts()
+		for _, c := range s.net.Cells {
+			if c.dead || c.Kind != CellWire {
+				continue
+			}
+			if uses[c.ID] == 0 {
+				c.dead = true
+				changed = true
+			}
+		}
+	}
+}
+
+// useCounts computes, for each live cell, how many live cells consume it,
+// counting function outputs as an extra use.
+func (s *synth) useCounts() []int {
+	uses := make([]int, len(s.net.Cells))
+	for _, c := range s.net.Cells {
+		if c.dead {
+			continue
+		}
+		for _, a := range c.Args {
+			if a >= 0 {
+				uses[a]++
+			}
+		}
+	}
+	for _, o := range s.net.Outputs {
+		uses[o]++
+	}
+	return uses
+}
+
+// fuseMulAdd merges DSP add cells with single-use DSP mul operands into
+// fused multiply-add cells, freeing one DSP per fusion (hint mode).
+func (s *synth) fuseMulAdd() {
+	uses := s.useCounts()
+	for _, c := range s.net.Cells {
+		if c.dead || c.Kind != CellDsp || c.DelayNs != dspAddNs || len(c.Args) != 2 {
+			continue
+		}
+		for i, a := range c.Args {
+			if a < 0 || uses[a] != 1 {
+				continue
+			}
+			m := s.net.Cells[a]
+			if m.dead || m.Kind != CellDsp || m.DelayNs != dspMulNs {
+				continue
+			}
+			// c = add(m, other) with m = mul(x, y): fuse.
+			other := c.Args[1-i]
+			c.Args = append(append([]int(nil), m.Args...), other)
+			c.DelayNs = dspMacNs
+			m.dead = true
+			s.budget++
+			break
+		}
+	}
+}
+
+// absorbRegisters folds single-use FFs fed by DSP cells into the DSP's
+// internal pipeline register (hint mode). A register fed by a
+// concatenation of single-use DSP outputs is split across them — real
+// synthesizers retime flat output registers into the per-driver DSP PREG
+// the same way.
+func (s *synth) absorbRegisters() {
+	uses := s.useCounts()
+	for _, c := range s.net.Cells {
+		if c.dead || c.Kind != CellFF || len(c.Args) == 0 {
+			continue
+		}
+		a := c.Args[0]
+		if a < 0 || uses[a] != 1 {
+			continue
+		}
+		d := s.net.Cells[a]
+		if d.dead {
+			continue
+		}
+		en := c.Args[1]
+		var targets []*Cell
+		switch {
+		case d.Kind == CellDsp && !d.Stateful:
+			targets = []*Cell{d}
+		case d.Kind == CellWire:
+			targets = s.catDspLeaves(d, uses)
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		for _, leaf := range targets {
+			leaf.Stateful = true
+			leaf.Args = append(leaf.Args, en) // clock enable rides along
+		}
+		// The FF becomes an alias of its (now registered) input.
+		c.Kind = CellWire
+		c.Args = []int{a}
+		c.DelayNs = 0
+		c.Stateful = false
+		c.Prim = ir.ResAny
+	}
+}
+
+// catDspLeaves walks a concatenation tree of wire cells and returns its
+// leaf cells when every leaf is an unregistered, single-use DSP; nil
+// otherwise.
+func (s *synth) catDspLeaves(w *Cell, uses []int) []*Cell {
+	var leaves []*Cell
+	var walk func(id int) bool
+	walk = func(id int) bool {
+		if id < 0 {
+			return false
+		}
+		c := s.net.Cells[id]
+		if c.dead {
+			return false
+		}
+		if c.Kind == CellWire && len(c.Args) == 2 && uses[c.ID] == 1 {
+			return walk(c.Args[0]) && walk(c.Args[1])
+		}
+		if c.Kind == CellDsp && !c.Stateful && uses[c.ID] == 1 {
+			leaves = append(leaves, c)
+			return true
+		}
+		return false
+	}
+	if !walk(w.ID) {
+		return nil
+	}
+	return leaves
+}
+
+// inferCascades marks chains of fused multiply-adds linked through their
+// accumulator operand, modeling Vivado 2020.1's hint-driven cascade
+// support (§7.2). The physical tool locks chained DSPs into a column; the
+// timing model honors CascadeWith directly.
+func (s *synth) inferCascades() {
+	uses := s.useCounts()
+	isMac := func(c *Cell) bool {
+		return !c.dead && c.Kind == CellDsp && c.DelayNs == dspMacNs
+	}
+	// Collect links first: bumping delays during the scan would make
+	// downstream chain members unrecognizable.
+	var linked []*Cell
+	for _, c := range s.net.Cells {
+		if !isMac(c) || len(c.Args) < 3 {
+			continue
+		}
+		acc := c.Args[2]
+		if acc < 0 || uses[acc] != 1 {
+			continue
+		}
+		p := s.net.Cells[acc]
+		// The accumulator may arrive through an absorbed register alias.
+		if p.Kind == CellWire && len(p.Args) == 1 && p.Args[0] >= 0 {
+			p = s.net.Cells[p.Args[0]]
+		}
+		if !isMac(p) {
+			continue
+		}
+		c.CascadeWith = p.ID
+		linked = append(linked, c)
+	}
+	// Reading the cascade input adds the same port-mux cost Reticle's _ci
+	// variants carry, keeping the two toolchains' delay models identical
+	// for identical configurations.
+	for _, c := range linked {
+		c.DelayNs += dspCascNs
+	}
+}
+
+// packLuts is the logic-optimization pass: single-use simple logic cones
+// merge into their consumer while the combined per-bit fan-in fits a LUT6.
+// This is what lets a traditional toolchain spend LUTs frugally on
+// control-oriented programs (§7.2, fsm).
+func (s *synth) packLuts() {
+	for changed := true; changed; {
+		changed = false
+		uses := s.useCounts()
+		for _, c := range s.net.Cells {
+			if c.dead || !c.Packable {
+				continue
+			}
+			for i, a := range c.Args {
+				if a < 0 || uses[a] != 1 {
+					continue
+				}
+				u := s.net.Cells[a]
+				if u.dead || !u.Packable || u.Width > c.Width {
+					continue
+				}
+				merged := c.InPerBit - 1 + u.InPerBit
+				if merged > 6 {
+					continue
+				}
+				// Merge u into c.
+				args := append([]int(nil), c.Args[:i]...)
+				args = append(args, u.Args...)
+				args = append(args, c.Args[i+1:]...)
+				c.Args = args
+				c.InPerBit = merged
+				u.dead = true
+				changed = true
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,355 @@
+// Package reticle is the public API of this Reticle implementation: a
+// low-level language and compiler for programming modern FPGAs (Vega et
+// al., PLDI 2021).
+//
+// The pipeline mirrors Fig. 7 of the paper. A portable intermediate
+// program is lowered by tree-covering instruction selection onto a
+// family-specific assembly language, layout-optimized (DSP cascading),
+// placed on a concrete device by a constraint solver, and emitted as
+// structural Verilog with layout annotations:
+//
+//	c, _ := reticle.NewCompiler()
+//	art, _ := c.CompileString(`
+//	def muladd(a:i8, b:i8, c:i8) -> (y:i8) {
+//	    t0:i8 = mul(a, b) @??;
+//	    y:i8 = add(t0, c) @??;
+//	}`)
+//	fmt.Print(art.Verilog)
+//
+// The package also exposes the reference interpreter (Algorithm 1), the
+// behavioral-Verilog baseline backends, and the baseline toolchain
+// simulator used by the evaluation harness.
+package reticle
+
+import (
+	"fmt"
+	"time"
+
+	"reticle/internal/asm"
+	"reticle/internal/behav"
+	"reticle/internal/cascade"
+	"reticle/internal/codegen"
+	"reticle/internal/device"
+	"reticle/internal/interp"
+	"reticle/internal/ir"
+	"reticle/internal/isel"
+	"reticle/internal/passes"
+	"reticle/internal/place"
+	"reticle/internal/refine"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/tdl"
+	"reticle/internal/timing"
+	"reticle/internal/verilog"
+	"reticle/internal/vivado"
+)
+
+// Core language types, re-exported for API stability.
+type (
+	// Func is an intermediate-language function (Fig. 5a).
+	Func = ir.Func
+	// Instr is one IR instruction.
+	Instr = ir.Instr
+	// Type is a value type: bool, iN, or iN<lanes>.
+	Type = ir.Type
+	// Value is a bit-accurate runtime value.
+	Value = ir.Value
+	// Builder constructs IR functions programmatically.
+	Builder = ir.Builder
+	// AsmFunc is an assembly-language function (Fig. 5b).
+	AsmFunc = asm.Func
+	// TargetDesc is a target description (Fig. 9).
+	TargetDesc = tdl.Target
+	// Device is a concrete FPGA part layout.
+	Device = device.Device
+	// Trace is an interpreter input or output trace.
+	Trace = interp.Trace
+	// Step is one clock cycle of trace values.
+	Step = interp.Step
+	// Module is a Verilog module AST.
+	Module = verilog.Module
+)
+
+// ParseIR parses one intermediate-language function.
+func ParseIR(src string) (*Func, error) { return ir.Parse(src) }
+
+// ParseIRType parses a type in source syntax ("bool", "i8", "i8<4>").
+func ParseIRType(src string) (Type, error) { return ir.ParseType(src) }
+
+// ScalarValue builds a scalar (or bool) value of the given type.
+func ScalarValue(t Type, v int64) Value { return ir.ScalarValue(t, v) }
+
+// BoolValue builds a bool value.
+func BoolValue(b bool) Value { return ir.BoolValue(b) }
+
+// VectorValue builds a vector value from per-lane values.
+func VectorValue(t Type, lanes ...int64) Value { return ir.VectorValue(t, lanes...) }
+
+// ParseAsm parses one assembly-language function.
+func ParseAsm(src string) (*AsmFunc, error) { return asm.Parse(src) }
+
+// ParseTDL parses a target description.
+func ParseTDL(name, src string) (*TargetDesc, error) { return tdl.Parse(name, src) }
+
+// NewBuilder starts building an IR function programmatically.
+func NewBuilder(name string) *Builder { return ir.NewBuilder(name) }
+
+// UltraScale returns the bundled UltraScale-like target description.
+func UltraScale() *TargetDesc { return ultrascale.Target() }
+
+// XCZU3EG returns the bundled evaluation device (360 DSPs, ~71k LUTs).
+func XCZU3EG() *Device { return ultrascale.Device() }
+
+// Interpret evaluates a function over an input trace (Algorithm 1).
+func Interpret(f *Func, trace Trace) (Trace, error) { return interp.Run(f, trace) }
+
+// Options configures a Compiler.
+type Options struct {
+	// Target is the family description; nil means the UltraScale-like
+	// bundled target.
+	Target *TargetDesc
+	// Device is the part to place on; nil means the xczu3eg-like part.
+	Device *Device
+	// NoCascade disables the §5.2 layout optimization.
+	NoCascade bool
+	// Shrink enables the §5.3 binary-search area compaction.
+	Shrink bool
+	// Greedy switches instruction selection to maximal munch (ablation).
+	Greedy bool
+	// TimingDriven enables post-placement timing refinement, the layout
+	// exploration the paper lists as future work (§1).
+	TimingDriven bool
+}
+
+// Compiler runs the full Reticle pipeline against one target and device.
+type Compiler struct {
+	opts     Options
+	lib      *isel.Library
+	cascades map[string]cascade.Variants
+}
+
+// NewCompiler returns a compiler for the bundled UltraScale-like target
+// and device.
+func NewCompiler() (*Compiler, error) { return NewCompilerWith(Options{}) }
+
+// NewCompilerWith returns a compiler with explicit options.
+func NewCompilerWith(opts Options) (*Compiler, error) {
+	if opts.Target == nil {
+		opts.Target = ultrascale.Target()
+	}
+	if opts.Device == nil {
+		opts.Device = ultrascale.Device()
+	}
+	lib, err := isel.NewLibrary(opts.Target)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiler{opts: opts, cascades: map[string]cascade.Variants{}}
+	c.lib = lib
+	// Cascade metadata only applies to the bundled target; custom targets
+	// can skip the pass or extend this map.
+	if opts.Target == ultrascale.Target() {
+		for base, v := range ultrascale.Cascades() {
+			c.cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
+		}
+	}
+	return c, nil
+}
+
+// Target returns the compiler's target description.
+func (c *Compiler) Target() *TargetDesc { return c.opts.Target }
+
+// Device returns the compiler's device.
+func (c *Compiler) Device() *Device { return c.opts.Device }
+
+// Artifact is a completed compilation.
+type Artifact struct {
+	// IR is the source program.
+	IR *Func
+	// Asm is the selected, layout-optimized assembly program with
+	// unresolved locations (family-specific).
+	Asm *AsmFunc
+	// Placed is the device-specific program with resolved locations.
+	Placed *AsmFunc
+	// Module is the structural Verilog AST; Verilog its rendering.
+	Module  *Module
+	Verilog string
+
+	// Utilization.
+	LUTs, DSPs, FFs, Carries int
+	// Timing.
+	CriticalNs float64
+	FMaxMHz    float64
+	// CriticalPath lists instruction destinations along the worst path.
+	CriticalPath []string
+	// CompileDur measures select + cascade + place + codegen.
+	CompileDur time.Duration
+	// CascadeChains counts chains rewritten by the layout optimizer.
+	CascadeChains int
+	// SolverSteps counts placement search steps.
+	SolverSteps int
+}
+
+// CompileString compiles IR source text through the full pipeline.
+func (c *Compiler) CompileString(src string) (*Artifact, error) {
+	f, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Compile(f)
+}
+
+// Compile runs selection, layout optimization, placement, code generation,
+// and timing analysis on an IR function.
+func (c *Compiler) Compile(f *Func) (*Artifact, error) {
+	t0 := time.Now()
+	af, err := isel.SelectWithLibrary(f, c.lib, isel.Options{Greedy: c.opts.Greedy})
+	if err != nil {
+		return nil, fmt.Errorf("reticle: selection: %w", err)
+	}
+	chains := 0
+	if !c.opts.NoCascade && len(c.cascades) > 0 {
+		opt, st, err := cascade.Apply(af, c.opts.Target, cascade.Options{
+			Cascades: c.cascades,
+			AccPort:  "c",
+			MaxChain: c.opts.Device.Height,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: layout optimization: %w", err)
+		}
+		af = opt
+		chains = st.Chains
+	}
+	var placedFn *AsmFunc
+	var solverSteps int
+	if c.opts.TimingDriven {
+		ref, err := refine.Place(af, c.opts.Target, c.opts.Device, refine.Options{
+			Place: place.Options{Shrink: c.opts.Shrink},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: placement: %w", err)
+		}
+		placedFn = ref.Placed
+	} else {
+		placed, err := place.Place(af, c.opts.Device, place.Options{Shrink: c.opts.Shrink})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: placement: %w", err)
+		}
+		placedFn = placed.Fn
+		solverSteps = placed.SolverSteps
+	}
+	mod, stats, err := codegen.Generate(placedFn, c.opts.Target)
+	if err != nil {
+		return nil, fmt.Errorf("reticle: code generation: %w", err)
+	}
+	dur := time.Since(t0)
+
+	rep, err := timing.Analyze(placedFn, c.opts.Target, c.opts.Device, timing.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("reticle: timing: %w", err)
+	}
+	return &Artifact{
+		CriticalPath:  rep.Path,
+		IR:            f,
+		Asm:           af,
+		Placed:        placedFn,
+		Module:        mod,
+		Verilog:       mod.String(),
+		LUTs:          stats.Luts,
+		DSPs:          stats.Dsps,
+		FFs:           stats.FFs,
+		Carries:       stats.Carries,
+		CriticalNs:    rep.CriticalNs,
+		FMaxMHz:       rep.FMaxMHz,
+		CompileDur:    dur,
+		CascadeChains: chains,
+		SolverSteps:   solverSteps,
+	}, nil
+}
+
+// BehavioralVerilog renders the §7 baseline translations: standard
+// behavioral Verilog (hint=false) or directive-laden Verilog (hint=true).
+func BehavioralVerilog(f *Func, hint bool) (string, error) {
+	flavor := behav.Base
+	if hint {
+		flavor = behav.Hint
+	}
+	m, err := behav.Translate(f, flavor)
+	if err != nil {
+		return "", err
+	}
+	return m.String(), nil
+}
+
+// BaselineResult is a baseline-toolchain compile (see package vivado).
+type BaselineResult = vivado.Result
+
+// BaselineCompile runs the simulated traditional toolchain on the same
+// program, as the §7 baselines do.
+func BaselineCompile(f *Func, dev *Device, hint bool) (*BaselineResult, error) {
+	if dev == nil {
+		dev = ultrascale.Device()
+	}
+	return vivado.Compile(f, dev, vivado.Options{Hint: hint})
+}
+
+// ExpandAsm inlines an assembly program's TDL semantics back into IR, the
+// reference meaning used for translation validation.
+func ExpandAsm(f *AsmFunc, target *TargetDesc) (*Func, error) {
+	return asm.Expand(f, target)
+}
+
+// Front-end passes (§8 of the paper), re-exported from internal/passes.
+
+// Vectorize combines independent scalar instructions into vector
+// instructions (§8.2, Fig. 16). It returns the rewritten function and the
+// number of vector groups formed.
+func Vectorize(f *Func, lanes int) (*Func, int, error) {
+	out, st, err := passes.Vectorize(f, passes.VectorizeOptions{Lanes: lanes})
+	return out, st.Groups, err
+}
+
+// Pipeline registers every pure compute result (§8.1, Fig. 14b),
+// maximizing clock rate at the cost of latency. enable may name a bool
+// value; empty inserts a constant-true enable.
+func Pipeline(f *Func, enable string) (*Func, int, error) {
+	return passes.Pipeline(f, passes.PipelineOptions{Enable: enable})
+}
+
+// BindPolicy chooses resources for compute instructions (§8.2, Fig. 17).
+type BindPolicy = passes.BindPolicy
+
+// Binding policies.
+var (
+	PreferDsp BindPolicy = passes.PreferDsp
+	PreferLut BindPolicy = passes.PreferLut
+	Unbind    BindPolicy = passes.Unbind
+)
+
+// Bind rewrites resource annotations under a policy.
+func Bind(f *Func, policy BindPolicy) (*Func, error) { return passes.Bind(f, policy) }
+
+// Optimize runs common-subexpression elimination and dead code elimination
+// to a fixpoint — the standard front-end cleanup before compiling.
+func Optimize(f *Func) (*Func, error) { return passes.Optimize(f) }
+
+// DCE removes instructions that cannot reach an output; it returns the
+// cleaned function and the number of instructions removed.
+func DCE(f *Func) (*Func, int, error) { return passes.DCE(f) }
+
+// CSE merges pure instructions computing identical values.
+func CSE(f *Func) (*Func, int, error) { return passes.CSE(f) }
+
+// Fold performs constant folding and strength reduction; multiplications
+// by powers of two become free wire shifts (§4.1).
+func Fold(f *Func) (*Func, int, error) { return passes.Fold(f) }
+
+// InterpretAsm evaluates an assembly program over an input trace by
+// expanding its TDL semantics back to IR first — co-simulation of compiled
+// code against the reference interpreter.
+func InterpretAsm(f *AsmFunc, target *TargetDesc, trace Trace) (Trace, error) {
+	irf, err := asm.Expand(f, target)
+	if err != nil {
+		return nil, err
+	}
+	return interp.Run(irf, trace)
+}

@@ -1,0 +1,352 @@
+package reticle
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func TestCompileStringMulAdd(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.CompileString(`
+def ma(a:i8, b:i8, c:i8) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    y:i8 = add(t0, c) @??;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.DSPs != 1 {
+		t.Errorf("DSPs = %d, want 1 fused muladd", art.DSPs)
+	}
+	if !strings.Contains(art.Verilog, "DSP48E2") {
+		t.Errorf("verilog missing DSP instance:\n%s", art.Verilog)
+	}
+	if art.FMaxMHz <= 0 || art.CompileDur <= 0 {
+		t.Errorf("artifact metrics: %+v", art)
+	}
+	if !art.Placed.Resolved() {
+		t.Error("placed program unresolved")
+	}
+}
+
+func TestCascadeChainsReported(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+def dot(a0:i8, b0:i8, a1:i8, b1:i8, in:i8) -> (y:i8) {
+    m0:i8 = mul(a0, b0) @dsp;
+    s0:i8 = add(m0, in) @dsp;
+    m1:i8 = mul(a1, b1) @dsp;
+    y:i8 = add(m1, s0) @dsp;
+}
+`
+	art, err := c.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.CascadeChains != 1 {
+		t.Errorf("chains = %d", art.CascadeChains)
+	}
+	noCas, err := NewCompilerWith(Options{NoCascade: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art2, err := noCas.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art2.CascadeChains != 0 {
+		t.Errorf("NoCascade still rewrote %d chains", art2.CascadeChains)
+	}
+	if art.CriticalNs >= art2.CriticalNs {
+		t.Errorf("cascading did not help: %.3f vs %.3f", art.CriticalNs, art2.CriticalNs)
+	}
+}
+
+func TestSelectionErrorSurfaces(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.CompileString(`
+def f(a:i8) -> (y:i8) {
+    y:i8 = not(a) @dsp;
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "selection") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBehavioralBackends(t *testing.T) {
+	f, err := ParseIR(`def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BehavioralVerilog(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hint, err := BehavioralVerilog(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(base, "use_dsp") || !strings.Contains(hint, "use_dsp") {
+		t.Error("hint attribute misplaced")
+	}
+}
+
+func TestBaselineCompile(t *testing.T) {
+	f, err := ParseIR(`def f(a:i8, b:i8) -> (y:i8) { y:i8 = mul(a, b) @??; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BaselineCompile(f, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DspsUsed != 1 {
+		t.Errorf("baseline DSPs = %d", res.DspsUsed)
+	}
+}
+
+// TestEndToEndTranslationValidation compiles a pipelined program, expands
+// the selected assembly back to IR, and checks trace equivalence with the
+// source — the whole-pipeline semantic check.
+func TestEndToEndTranslationValidation(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+def pipe(a:i8, b:i8, k:i8, en:bool) -> (y:i8, flag:bool) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, k) @??;
+    r:i8 = reg[0](t1, en) @??;
+    t2:i8 = sub(r, a) @??;
+    y:i8 = mux(en, t2, k) @lut;
+    flag:bool = gt(y, k) @lut;
+}
+`
+	f, err := ParseIR(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ExpandAsm(art.Asm, c.Target())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	tr := make(Trace, 30)
+	for i := range tr {
+		tr[i] = Step{
+			"a":  ir.ScalarValue(ir.Int(8), rng.Int63()),
+			"b":  ir.ScalarValue(ir.Int(8), rng.Int63()),
+			"k":  ir.ScalarValue(ir.Int(8), rng.Int63()),
+			"en": ir.BoolValue(rng.Intn(2) == 0),
+		}
+	}
+	want, err := Interpret(f, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Interpret(back, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for k, v := range want[i] {
+			if !got[i][k].Equal(v) {
+				t.Fatalf("cycle %d: %s = %s, want %s", i, k, got[i][k], v)
+			}
+		}
+	}
+}
+
+func TestBuilderThroughFacade(t *testing.T) {
+	b := NewBuilder("facade")
+	i8 := ir.Int(8)
+	x := b.Input("x", i8)
+	y := b.Add(i8, x, x, ir.ResAny)
+	b.Output(y, i8)
+	f, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyOption(t *testing.T) {
+	c, err := NewCompilerWith(Options{Greedy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.CompileString(`
+def f(a:i8, b:i8, c:i8) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    y:i8 = add(t0, c) @??;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.DSPs == 0 && art.LUTs == 0 {
+		t.Error("greedy produced nothing")
+	}
+}
+
+func TestTargetAccessors(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Target() != UltraScale() || c.Device() == nil {
+		t.Error("accessors wrong")
+	}
+	if XCZU3EG().Name != "xczu3eg" {
+		t.Error("device name")
+	}
+}
+
+func TestTimingDrivenOption(t *testing.T) {
+	src := `
+def chain(a:i8, b:i8, c:i8) -> (t2:i8) {
+    t0:i8 = add(a, b) @dsp;
+    t1:i8 = add(t0, c) @dsp;
+    t2:i8 = add(t1, a) @dsp;
+}
+`
+	plain, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := NewCompilerWith(Options{TimingDriven: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := plain.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := refined.CompileString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.CriticalNs > a1.CriticalNs+1e-9 {
+		t.Errorf("timing-driven placement worse: %.3f vs %.3f", a2.CriticalNs, a1.CriticalNs)
+	}
+	if !a2.Placed.Resolved() {
+		t.Error("unresolved")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	i8, err := ParseIRType("i8")
+	if err != nil || i8.Width() != 8 {
+		t.Fatalf("ParseIRType: %v %v", i8, err)
+	}
+	v4, err := ParseIRType("i8<4>")
+	if err != nil || v4.Lanes() != 4 {
+		t.Fatalf("ParseIRType vector: %v %v", v4, err)
+	}
+	if ScalarValue(i8, 200).Scalar() != -56 {
+		t.Error("ScalarValue wrap")
+	}
+	if !BoolValue(true).Bool() {
+		t.Error("BoolValue")
+	}
+	if VectorValue(v4, 1, 2, 3, 4).Lane(2) != 3 {
+		t.Error("VectorValue")
+	}
+	if _, err := ParseAsm(`def f(a:i8,b:i8,c:i8) -> (y:i8) { y:i8 = ma(a,b,c) @dsp(0,0); }`); err != nil {
+		t.Errorf("ParseAsm: %v", err)
+	}
+	target, err := ParseTDL("mini", `add[lut, 1, 1](a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b); }`)
+	if err != nil || target.Len() != 1 {
+		t.Errorf("ParseTDL: %v", err)
+	}
+}
+
+func TestFacadePasses(t *testing.T) {
+	f, err := ParseIR(`
+def p(a:i8, b:i8) -> (y:i8) {
+    two:i8 = const[2];
+    dead:i8 = mul(a, a) @??;
+    t0:i8 = mul(a, two) @??;
+    t1:i8 = add(t0, b) @??;
+    t2:i8 = add(t0, b) @??;
+    y:i8 = and(t1, t2) @??;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, n, err := Fold(f)
+	if err != nil || n == 0 {
+		t.Fatalf("Fold: %d, %v", n, err)
+	}
+	merged, n, err := CSE(folded)
+	if err != nil || n == 0 {
+		t.Fatalf("CSE: %d, %v", n, err)
+	}
+	clean, n, err := DCE(merged)
+	if err != nil || n == 0 {
+		t.Fatalf("DCE: %d, %v", n, err)
+	}
+	opt, err := Optimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Body) > len(clean.Body) {
+		t.Errorf("Optimize (%d instrs) worse than manual chain (%d)",
+			len(opt.Body), len(clean.Body))
+	}
+	// The mul-by-two became a shift: only wire ops plus the and remain...
+	for _, in := range opt.Body {
+		if in.Op == ir.OpMul {
+			t.Errorf("mul survived optimization:\n%s", opt)
+		}
+	}
+}
+
+func TestFacadeInterpretAsm(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.CompileString(`
+def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @dsp; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, _ := ParseIRType("i8")
+	out, err := InterpretAsm(art.Asm, c.Target(), Trace{
+		{"a": ScalarValue(i8, 20), "b": ScalarValue(i8, 22)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]["y"].Scalar() != 42 {
+		t.Errorf("y = %s", out[0]["y"])
+	}
+}
