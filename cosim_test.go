@@ -1,0 +1,139 @@
+// Differential co-simulation: every bundled example program, compiled on
+// every bundled family, must mean what its IR means. The compiled
+// assembly (selected, cascade-rewritten, and placed) is expanded back to
+// IR through its TDL semantics and interpreted (Algorithm 1) next to the
+// source program over randomized-but-seeded input traces — the paper's
+// translation-validation discipline applied to the shipping targets.
+package reticle
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reticle/internal/interp"
+	"reticle/internal/irgen"
+	"reticle/internal/target/agilex"
+)
+
+// cosimFamilies are the bundled (target, device) pairs under test.
+func cosimFamilies() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"ultrascale", Options{}},
+		{"agilex", Options{Target: agilex.Target(), Device: agilex.Device()}},
+	}
+}
+
+// examplePrograms loads every examples/programs/*.ret source.
+func examplePrograms(t *testing.T) map[string]string {
+	t.Helper()
+	dir := filepath.Join("examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ret") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[strings.TrimSuffix(e.Name(), ".ret")] = string(src)
+	}
+	if len(progs) == 0 {
+		t.Fatalf("no .ret programs under %s", dir)
+	}
+	return progs
+}
+
+func TestDifferentialCoSimExamples(t *testing.T) {
+	const cycles = 24
+	progs := examplePrograms(t)
+	for _, fam := range cosimFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			c, err := NewCompilerWith(fam.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := int64(1)
+			for name, src := range progs {
+				f, err := ParseIR(src)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				art, err := c.Compile(f)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", name, err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				seed++
+				trace := irgen.RandomTrace(rng, f, cycles)
+				want, err := Interpret(f, trace)
+				if err != nil {
+					t.Fatalf("%s: reference interp: %v", name, err)
+				}
+				// Both the family-specific program and the placed,
+				// cascade-rewritten one must agree with the source.
+				for stage, af := range map[string]*AsmFunc{"asm": art.Asm, "placed": art.Placed} {
+					got, err := InterpretAsm(af, c.Target(), trace)
+					if err != nil {
+						t.Fatalf("%s/%s: co-sim interp: %v", name, stage, err)
+					}
+					if !interp.Equal(want, got) {
+						t.Errorf("%s/%s: compiled semantics diverge from IR\nasm:\n%s", name, stage, af)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialCoSimRandom extends the oracle to generated programs on
+// both families. The generator emits only ultrascale-shaped programs, but
+// every shape it produces has an agilex selection too, so the same corpus
+// cross-checks both targets.
+func TestDifferentialCoSimRandom(t *testing.T) {
+	const seeds = 12
+	for _, fam := range cosimFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			c, err := NewCompilerWith(fam.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				rng := rand.New(rand.NewSource(7000 + seed))
+				f := irgen.Generate(rng, irgen.Config{Instrs: 12, WithVectors: true})
+				art, err := c.Compile(f)
+				if err != nil {
+					t.Fatalf("seed %d: compile: %v\n%s", seed, err, f)
+				}
+				trace := irgen.RandomTrace(rng, f, 10)
+				want, err := Interpret(f, trace)
+				if err != nil {
+					t.Fatalf("seed %d: reference interp: %v", seed, err)
+				}
+				got, err := InterpretAsm(art.Placed, c.Target(), trace)
+				if err != nil {
+					t.Fatalf("seed %d: co-sim interp: %v", seed, err)
+				}
+				if !interp.Equal(want, got) {
+					t.Errorf("seed %d: compiled semantics diverge from IR\nsource:\n%s\nasm:\n%s",
+						seed, f, art.Placed)
+				}
+			}
+		})
+	}
+}

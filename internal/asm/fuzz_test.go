@@ -12,6 +12,18 @@ func FuzzParse(f *testing.F) {
 		`def f(a:i8) -> (y:i8) { t0:i8 = const[5]; y:i8 = op(t0) @dsp(??, ??); }`,
 		`def broken(a:i8) -> (y:i8) { y:i8 = add(a, a); }`,
 		`@@@`,
+		// Bundled ultrascale opcodes, including cascade variants with
+		// shared coordinate variables and a registered SIMD op.
+		`def dot(a:i8, b:i8, in:i8) -> (t1:i8) {
+    t0:i8 = dsp_muladd_i8_co(a, b, in) @dsp(x0+0, y0+0);
+    t1:i8 = dsp_muladd_i8_ci(a, b, t0) @dsp(x0+0, y0+1);
+}`,
+		`def v(a:i8<4>, b:i8<4>, en:bool) -> (y:i8<4>) { y:i8<4> = dsp_vaddrega_i8v4[0](a, b, en) @dsp(??, ??); }`,
+		`def cmp(a:i16, b:i16) -> (y:bool) { y:bool = lut_lt_i16(a, b) @lut(3, 7); }`,
+		`def st(a:i8, en:bool) -> (y:i8) { y:i8 = lut_reg_i8[5](a, en) @lut(??, ??); }`,
+		// Bundled agilex opcodes: ALM fabric plus the 18-bit DSP block.
+		`def wide(k:i24, m:i24) -> (z:i24) { z:i24 = alm_mul_i24(k, m) @lut(??, ??); }`,
+		`def mac(a:i16, b:i16, c:i16, en:bool) -> (y:i16) { y:i16 = dsp_muladdrega_i16[0](a, b, c, en) @dsp(1, 2); }`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

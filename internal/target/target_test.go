@@ -1,0 +1,101 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"reticle/internal/ir"
+)
+
+func TestBuilderEmitsParseableTDL(t *testing.T) {
+	b := NewBuilder("toy")
+	b.Comment("a small family")
+	b.Binary("dsp_add_i8", ir.ResDsp, 1, 7, "add", "i8")
+	b.Unary("lut_not_i8", ir.ResLut, 8, 1, "not", "i8")
+	b.Compare("lut_lt_i8", ir.ResLut, 8, 3, "lt", "i8")
+	b.Mux("lut_mux_i8", ir.ResLut, 8, 2, "i8")
+	b.Reg("lut_reg_i8", ir.ResLut, 8, 1, "i8")
+	b.BinaryRega("dsp_addrega_i8", ir.ResDsp, 1, 7, "add", "i8")
+	b.MulAdd("dsp_muladd_i8", ir.ResDsp, 1, 12, "i8", true)
+	b.MulAddRega("dsp_muladdrega_i8", ir.ResDsp, 1, 12, "i8", false)
+
+	tgt, err := b.Build("toy")
+	if err != nil {
+		t.Fatalf("generated TDL does not parse: %v\n%s", err, b.Source())
+	}
+	// 8 base defs plus 3 cascade variants of the cascaded muladd.
+	if tgt.Len() != 11 {
+		t.Errorf("definitions = %d, want 11", tgt.Len())
+	}
+	for _, name := range []string{
+		"dsp_muladd_i8", "dsp_muladd_i8_co", "dsp_muladd_i8_ci", "dsp_muladd_i8_coci",
+		"dsp_muladdrega_i8",
+	} {
+		if _, ok := tgt.Lookup(name); !ok {
+			t.Errorf("missing definition %s", name)
+		}
+	}
+	if _, ok := tgt.Lookup("dsp_muladdrega_i8_co"); ok {
+		t.Error("uncascaded MulAddRega emitted variants")
+	}
+}
+
+func TestBuilderRecordsCascades(t *testing.T) {
+	b := NewBuilder("toy")
+	b.MulAdd("dsp_muladd_i8", ir.ResDsp, 1, 12, "i8", true)
+	b.MulAddRega("dsp_muladdrega_i8", ir.ResDsp, 1, 12, "i8", true)
+	cas := b.Cascades()
+	if len(cas) != 2 {
+		t.Fatalf("cascades = %v", cas)
+	}
+	v := cas["dsp_muladd_i8"]
+	if v.Co != "dsp_muladd_i8_co" || v.Ci != "dsp_muladd_i8_ci" || v.CoCi != "dsp_muladd_i8_coci" {
+		t.Errorf("variants = %+v", v)
+	}
+	// The returned map is a copy: mutating it must not leak back.
+	cas["dsp_muladd_i8"] = CascadeVariants{}
+	if b.Cascades()["dsp_muladd_i8"] != v {
+		t.Error("Cascades returned a shared map")
+	}
+}
+
+// TestCascadeVariantsShareSemantics: expansion back to IR is the reference
+// meaning of an assembly program, so a cascade rewrite — which only
+// changes routing — must keep the variant bodies identical to the base.
+func TestCascadeVariantsShareSemantics(t *testing.T) {
+	b := NewBuilder("toy")
+	b.MulAdd("dsp_muladd_i8", ir.ResDsp, 1, 12, "i8", true)
+	tgt, err := b.Build("toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := tgt.Lookup("dsp_muladd_i8")
+	for _, name := range []string{"dsp_muladd_i8_co", "dsp_muladd_i8_ci", "dsp_muladd_i8_coci"} {
+		v, ok := tgt.Lookup(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if v.Area != base.Area || v.Latency != base.Latency {
+			t.Errorf("%s costs differ from base: %d/%d vs %d/%d",
+				name, v.Area, v.Latency, base.Area, base.Latency)
+		}
+		if len(v.Body) != len(base.Body) {
+			t.Fatalf("%s body length differs from base", name)
+		}
+		for i := range v.Body {
+			if v.Body[i].String() != base.Body[i].String() {
+				t.Errorf("%s body %d = %q, base %q", name, i, v.Body[i].String(), base.Body[i].String())
+			}
+		}
+	}
+}
+
+func TestSourceIsCommented(t *testing.T) {
+	b := NewBuilder("toy")
+	b.Comment("section")
+	b.Binary("lut_add_i8", ir.ResLut, 8, 4, "add", "i8")
+	src := b.Source()
+	if !strings.Contains(src, "// section") || !strings.Contains(src, "// Target description for the toy family") {
+		t.Errorf("comments missing from source:\n%s", src)
+	}
+}

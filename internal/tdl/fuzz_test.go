@@ -1,0 +1,41 @@
+package tdl_test
+
+import (
+	"testing"
+
+	"reticle/internal/target/agilex"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/tdl"
+)
+
+// FuzzParseTDL feeds arbitrary text to the target-description parser. The
+// corpus is seeded with the full generated source of both bundled
+// families, so mutations explore the grammar the shipping targets
+// actually use: error or a target whose every definition is retrievable;
+// never a panic.
+func FuzzParseTDL(f *testing.F) {
+	f.Add(ultrascale.Source())
+	f.Add(agilex.Source())
+	f.Add(`one[lut, 1, 1](a:i8) -> (y:i8) { y:i8 = not(a); }`)
+	f.Add(`mac[dsp, 1, 12](a:i8, b:i8, c:i8) -> (y:i8) {
+    t0:i8 = mul(a, b);
+    y:i8 = add(t0, c);
+}`)
+	f.Add(`bad[dsp, 1](a:i8) -> (y:i8) { y:i8 = id(a) @dsp; }`)
+	f.Add(`dup[lut, 1, 1](a:i8) -> (y:i8) { y:i8 = id(a); } dup[lut, 1, 1](a:i8) -> (y:i8) { y:i8 = id(a); }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		target, err := tdl.Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if len(target.Defs()) == 0 {
+			t.Fatal("parsed target has no definitions")
+		}
+		for _, d := range target.Defs() {
+			got, ok := target.Lookup(d.Name)
+			if !ok || got != d {
+				t.Fatalf("definition %q not retrievable after parse", d.Name)
+			}
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 	"reticle/internal/passes"
 	"reticle/internal/place"
 	"reticle/internal/refine"
+	"reticle/internal/target/agilex"
 	"reticle/internal/target/ultrascale"
 	"reticle/internal/tdl"
 	"reticle/internal/timing"
@@ -99,6 +100,13 @@ func UltraScale() *TargetDesc { return ultrascale.Target() }
 // XCZU3EG returns the bundled evaluation device (360 DSPs, ~71k LUTs).
 func XCZU3EG() *Device { return ultrascale.Device() }
 
+// Agilex returns the bundled Agilex-like target description, the second
+// family proving §4.2 portability.
+func Agilex() *TargetDesc { return agilex.Target() }
+
+// AGF014 returns the bundled Agilex-like part (400 DSPs, 96k ALMs).
+func AGF014() *Device { return agilex.Device() }
+
 // Interpret evaluates a function over an input trace (Algorithm 1).
 func Interpret(f *Func, trace Trace) (Trace, error) { return interp.Run(f, trace) }
 
@@ -145,10 +153,15 @@ func NewCompilerWith(opts Options) (*Compiler, error) {
 	}
 	c := &Compiler{opts: opts, cascades: map[string]cascade.Variants{}}
 	c.lib = lib
-	// Cascade metadata only applies to the bundled target; custom targets
-	// can skip the pass or extend this map.
-	if opts.Target == ultrascale.Target() {
+	// Cascade metadata ships with each bundled family; custom targets can
+	// skip the pass or extend this map.
+	switch opts.Target {
+	case ultrascale.Target():
 		for base, v := range ultrascale.Cascades() {
+			c.cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
+		}
+	case agilex.Target():
+		for base, v := range agilex.Cascades() {
 			c.cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
 		}
 	}

@@ -1,0 +1,9 @@
+module counter(input clk, input x, output [7:0] t3);
+    wire [7:0] t1;
+    wire t0;
+    assign t1 = 8'h4;
+    assign t0 = 1'h1;
+    (* LOC = "DSP48E2_X0Y0" *)
+    DSP48E2 # (.FUNC("dsp_addrega_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(1), .INIT(0))
+        dsp_t3 (.CLK(clk), .A(t3), .B(t1), .CE(t0), .P(t3));
+endmodule

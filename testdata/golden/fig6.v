@@ -1,0 +1,9 @@
+module fig6(input x, output [7:0] t2);
+    wire [7:0] t0;
+    wire [7:0] t1;
+    assign t0 = 8'h5;
+    assign t1 = {t0[6:0], 1'h0};
+    (* LOC = "DSP48E2_X0Y0" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t2 (.A(t0), .B(t1), .P(t2));
+endmodule

@@ -1,0 +1,5 @@
+module macc(input clk, input [7:0] a, input [7:0] b, input [7:0] c, input en, output [7:0] y);
+    (* LOC = "DSP48E2_X0Y0" *)
+    DSP48E2 # (.FUNC("dsp_muladdrega_i8"), .OPMODE(9'h35), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(1), .INIT(0))
+        dsp_y (.CLK(clk), .A(a), .B(b), .C(c), .CE(en), .P(y));
+endmodule

@@ -1,0 +1,26 @@
+module vadd8(input [7:0] a0, input [7:0] b0, input [7:0] a1, input [7:0] b1, input [7:0] a2, input [7:0] b2, input [7:0] a3, input [7:0] b3, input [7:0] a4, input [7:0] b4, input [7:0] a5, input [7:0] b5, input [7:0] a6, input [7:0] b6, input [7:0] a7, input [7:0] b7, output [7:0] t0, output [7:0] t1, output [7:0] t2, output [7:0] t3, output [7:0] t4, output [7:0] t5, output [7:0] t6, output [7:0] t7);
+    (* LOC = "DSP48E2_X0Y0" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t0 (.A(a0), .B(b0), .P(t0));
+    (* LOC = "DSP48E2_X0Y1" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t1 (.A(a1), .B(b1), .P(t1));
+    (* LOC = "DSP48E2_X0Y2" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t2 (.A(a2), .B(b2), .P(t2));
+    (* LOC = "DSP48E2_X0Y3" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t3 (.A(a3), .B(b3), .P(t3));
+    (* LOC = "DSP48E2_X0Y4" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t4 (.A(a4), .B(b4), .P(t4));
+    (* LOC = "DSP48E2_X0Y5" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t5 (.A(a5), .B(b5), .P(t5));
+    (* LOC = "DSP48E2_X0Y6" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t6 (.A(a6), .B(b6), .P(t6));
+    (* LOC = "DSP48E2_X0Y7" *)
+    DSP48E2 # (.FUNC("dsp_add_i8"), .OPMODE(9'h3f), .ALUMODE(4'h0), .USE_SIMD("ONE48"), .PREG(0))
+        dsp_t7 (.A(a7), .B(b7), .P(t7));
+endmodule
