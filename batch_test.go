@@ -1,0 +1,162 @@
+// Batch determinism and facade-level batch behavior. The headline claim:
+// CompileBatch with any worker count produces byte-identical output to
+// serial Compile — including the placement-bearing `LOC` attributes in
+// the emitted Verilog — for every bundled example program on every
+// bundled family. Placement is a constraint search, so this only holds
+// because every pipeline stage is deterministic and shares no mutable
+// state across kernels; this suite is what keeps that true.
+package reticle
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+	"time"
+)
+
+// batchKernels parses every examples/programs/*.ret once, in sorted name
+// order so batch indices are stable.
+func batchKernels(t *testing.T) (names []string, srcs []string) {
+	t.Helper()
+	progs := examplePrograms(t)
+	for name := range progs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		srcs = append(srcs, progs[name])
+	}
+	return names, srcs
+}
+
+func parseAll(t *testing.T, srcs []string) []*Func {
+	t.Helper()
+	fs := make([]*Func, len(srcs))
+	for i, src := range srcs {
+		f, err := ParseIR(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs[i] = f
+	}
+	return fs
+}
+
+// TestBatchDeterminism compiles each bundled example serially and then
+// through CompileBatch with 8 workers, twice, on both families, and
+// requires byte-identical Verilog (and placed assembly) everywhere.
+func TestBatchDeterminism(t *testing.T) {
+	names, srcs := batchKernels(t)
+	for _, fam := range cosimFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			c, err := NewCompilerWith(fam.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Serial reference. Parse fresh per run so no run can lean on
+			// another's in-memory IR.
+			serialVerilog := make([]string, len(srcs))
+			serialPlaced := make([]string, len(srcs))
+			for i, f := range parseAll(t, srcs) {
+				art, err := c.Compile(f)
+				if err != nil {
+					t.Fatalf("%s: serial compile: %v", names[i], err)
+				}
+				serialVerilog[i] = art.Verilog
+				serialPlaced[i] = art.Placed.String()
+			}
+			for run := 0; run < 2; run++ {
+				results, st, err := c.CompileBatch(context.Background(),
+					parseAll(t, srcs), BatchOptions{Jobs: 8})
+				if err != nil {
+					t.Fatalf("run %d: %v", run, err)
+				}
+				if st.Succeeded != len(srcs) {
+					t.Fatalf("run %d: stats %+v, want %d successes", run, st, len(srcs))
+				}
+				for i, r := range results {
+					if !r.Ok() {
+						t.Fatalf("run %d: %s: %v", run, names[i], r.Err)
+					}
+					if r.Artifact.Verilog != serialVerilog[i] {
+						t.Errorf("run %d: %s: batch Verilog differs from serial (LOC/placement drift?)",
+							run, names[i])
+					}
+					if r.Artifact.Placed.String() != serialPlaced[i] {
+						t.Errorf("run %d: %s: batch placed assembly differs from serial",
+							run, names[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompileBatchFacade exercises the package-level entry point and the
+// per-kernel error contract at the public API: a kernel that cannot be
+// selected fails alone, artifacts carry per-stage times, and aggregate
+// stats are populated.
+func TestCompileBatchFacade(t *testing.T) {
+	good, err := ParseIR(`
+def ok(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @??;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := ParseIR(`
+def bad(a:i3, b:i3) -> (y:i3) {
+    y:i3 = add(a, b) @??;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, st, err := CompileBatch(context.Background(), []*Func{good, bad}, BatchOptions{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Ok() {
+		t.Fatalf("good kernel failed: %v", results[0].Err)
+	}
+	if results[0].Artifact.Stages.Select <= 0 {
+		t.Error("artifact carries no per-stage times")
+	}
+	if results[1].Ok() {
+		t.Error("unselectable kernel compiled")
+	}
+	if st.Kernels != 2 || st.Succeeded != 1 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.KernelsPerSec <= 0 || st.Wall <= 0 {
+		t.Errorf("aggregate throughput missing: %+v", st)
+	}
+}
+
+// TestCompileContextCancelled: the context-aware single-kernel entry
+// point surfaces cancellation as an error wrapping context.Canceled.
+func TestCompileContextCancelled(t *testing.T) {
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseIR(`
+def k(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @??;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.CompileContext(ctx, f); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	// And a live context compiles normally.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	if _, err := c.CompileContext(ctx2, f); err != nil {
+		t.Errorf("live context: %v", err)
+	}
+}

@@ -17,6 +17,7 @@
 package reticle
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -295,6 +296,52 @@ func BenchmarkAblationTimingDriven(b *testing.B) {
 				crit = art.CriticalNs
 			}
 			b.ReportMetric(crit, "critical-ns")
+		})
+	}
+}
+
+// BenchmarkCompileBatch measures the concurrent batch compiler: one
+// shared pattern library, a mixed kernel set (systolic dot products,
+// vector adds, FSMs), and increasing worker counts. The reported
+// kernels/sec is the metric the bench-baseline CI job tracks; jobs1 vs
+// jobsN shows the parallel speedup the read-only shared library buys.
+func BenchmarkCompileBatch(b *testing.B) {
+	var fs []*Func
+	for i := 0; i < 4; i++ {
+		dot, err := bench.TensorDot(2, 3+i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		add, err := bench.TensorAdd(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fsm, err := bench.FSM(3 + i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs = append(fs, dot, add, fsm)
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("jobs%d", jobs), func(b *testing.B) {
+			c, err := NewCompiler()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				results, st, err := c.CompileBatch(context.Background(), fs, BatchOptions{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.Ok() {
+						b.Fatalf("kernel %d: %v", r.Index, r.Err)
+					}
+				}
+				rate = st.KernelsPerSec
+			}
+			b.ReportMetric(rate, "kernels/sec")
 		})
 	}
 }

@@ -1,0 +1,168 @@
+// Package batch compiles many IR kernels concurrently against one shared
+// pipeline.Config — the compile-at-scale subsystem backing the ROADMAP's
+// heavy-traffic north star and the shape design-space-exploration sweeps
+// need (many configurations, one target).
+//
+// The contract:
+//
+//   - shared state (target, device, pattern library, cascade metadata) is
+//     read-only; every kernel gets private scratch (see internal/pipeline);
+//   - worker goroutines are bounded by Options.Jobs;
+//   - each kernel can be cancelled or timed out via context.Context;
+//   - results are structured per kernel — one bad kernel (type error,
+//     capacity overflow, timeout, even a panic) never fails the batch;
+//   - results come back indexed by submission order, so a batch run is
+//     byte-for-byte deterministic whenever serial compilation is.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"reticle/internal/ir"
+	"reticle/internal/pipeline"
+)
+
+// Job is one kernel to compile.
+type Job struct {
+	// Name labels the result; empty defaults to Func.Name.
+	Name string
+	// Func is the kernel. A nil Func yields a per-kernel error.
+	Func *ir.Func
+}
+
+// Options configures a batch run.
+type Options struct {
+	// Jobs bounds concurrent worker goroutines; <=0 means GOMAXPROCS.
+	Jobs int
+	// KernelTimeout bounds each kernel's compile; 0 means no timeout.
+	// Timeouts are observed at pipeline stage boundaries.
+	KernelTimeout time.Duration
+}
+
+// Result is the outcome of one kernel, at the submission index.
+type Result struct {
+	// Index is the kernel's position in the submitted batch.
+	Index int
+	// Name is the job label (or the function name).
+	Name string
+	// Artifact is the completed compilation; nil when Err is set.
+	Artifact *pipeline.Artifact
+	// Err is the per-kernel failure, if any.
+	Err error
+	// Dur is this kernel's wall time inside its worker.
+	Dur time.Duration
+}
+
+// Ok reports whether the kernel compiled successfully.
+func (r Result) Ok() bool { return r.Err == nil }
+
+// Stats aggregates a batch run.
+type Stats struct {
+	// Kernels is the batch size; Succeeded + Failed == Kernels.
+	Kernels, Succeeded, Failed int
+	// Wall is the end-to-end batch wall time.
+	Wall time.Duration
+	// KernelsPerSec is Kernels divided by Wall.
+	KernelsPerSec float64
+	// Stages sums per-stage wall time across successful kernels. With
+	// Jobs > 1 the sum exceeds Wall — that surplus is the parallel
+	// speedup.
+	Stages pipeline.StageTimes
+}
+
+// Compile runs every job through the shared config with at most
+// Options.Jobs concurrent workers. The returned slice has one Result per
+// job, in submission order. The error is non-nil only for an unusable
+// config; per-kernel failures (including a cancelled context) are
+// reported in the results.
+func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options) ([]Result, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.Jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	t0 := time.Now()
+	results := make([]Result, len(jobs))
+	if len(jobs) > 0 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					results[i] = compileOne(ctx, cfg, jobs[i], i, opts.KernelTimeout)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	st := Stats{Kernels: len(jobs), Wall: time.Since(t0)}
+	for _, r := range results {
+		if r.Ok() {
+			st.Succeeded++
+			st.Stages.Add(r.Artifact.Stages)
+		} else {
+			st.Failed++
+		}
+	}
+	if secs := st.Wall.Seconds(); secs > 0 {
+		st.KernelsPerSec = float64(st.Kernels) / secs
+	}
+	return results, st, nil
+}
+
+// onKernel, when non-nil, brackets each kernel compile. Tests use it to
+// observe worker concurrency; it must be set before Compile is called.
+var onKernel func(index int, done bool)
+
+// compileOne compiles a single kernel, converting panics to per-kernel
+// errors so a pathological input cannot take down the whole batch.
+func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, timeout time.Duration) (res Result) {
+	res = Result{Index: index, Name: job.Name}
+	if res.Name == "" && job.Func != nil {
+		res.Name = job.Func.Name
+	}
+	t0 := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			res.Artifact = nil
+			res.Err = fmt.Errorf("batch: kernel %d (%s): panic: %v", index, res.Name, r)
+		}
+		res.Dur = time.Since(t0)
+	}()
+	if onKernel != nil {
+		defer onKernel(index, true)
+		onKernel(index, false)
+	}
+	if job.Func == nil {
+		res.Err = fmt.Errorf("batch: kernel %d: nil function", index)
+		return res
+	}
+	kctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		kctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res.Artifact, res.Err = pipeline.Compile(kctx, cfg, job.Func)
+	return res
+}

@@ -4,6 +4,7 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,7 +59,8 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  reticle compile [-emit ir|asm|place|verilog|stats|timing] [-shrink] [-no-cascade] [-greedy] file.ret
+  reticle compile [-emit ir|asm|place|verilog|stats|timing] [-shrink] [-no-cascade] [-greedy]
+                  [-jobs n] [-timeout d] file.ret [file.ret ...]
   reticle interp  [-cycles n] [-set name=v1,v2,...]... [-vcd file] file.ret
   reticle expand  file.rasm
   reticle behav   [-hint] file.ret
@@ -92,12 +94,15 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 	shrink := fs.Bool("shrink", false, "enable area-compaction shrinking passes")
 	noCascade := fs.Bool("no-cascade", false, "disable DSP cascade layout optimization")
 	greedy := fs.Bool("greedy", false, "greedy (maximal munch) instruction selection")
+	jobs := fs.Int("jobs", 1, "compile files concurrently with this many workers")
+	timeout := fs.Duration("timeout", 0, "per-file compile timeout (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	src, err := readSource(fs.Args(), stdin)
-	if err != nil {
-		return err
+	switch *emit {
+	case "ir", "asm", "place", "verilog", "timing", "stats":
+	default:
+		return fmt.Errorf("unknown -emit %q", *emit)
 	}
 	c, err := reticle.NewCompilerWith(reticle.Options{
 		Shrink:    *shrink,
@@ -107,11 +112,80 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	art, err := c.CompileString(src)
+
+	files := fs.Args()
+	if len(files) == 1 && *jobs <= 1 {
+		// Single-file serial path: output is the bare emitted stage.
+		src, err := readSource(files, stdin)
+		if err != nil {
+			return err
+		}
+		art, err := c.CompileString(src)
+		if err != nil {
+			return err
+		}
+		return emitArtifact(stdout, *emit, art)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("expected at least one input file")
+	}
+
+	// Batch path: compile every file through the shared library with
+	// bounded workers; per-file failures never abort the other files.
+	batchJobs := make([]reticle.BatchJob, len(files))
+	parseErrs := make([]error, len(files))
+	for i, name := range files {
+		src, err := readSource([]string{name}, stdin)
+		if err != nil {
+			parseErrs[i] = err
+			continue
+		}
+		f, err := reticle.ParseIR(src)
+		if err != nil {
+			parseErrs[i] = err
+			continue
+		}
+		batchJobs[i] = reticle.BatchJob{Name: name, Func: f}
+	}
+	results, stats, err := c.CompileBatchJobs(context.Background(), batchJobs,
+		reticle.BatchOptions{Jobs: *jobs, KernelTimeout: *timeout})
 	if err != nil {
 		return err
 	}
-	switch *emit {
+	failed := 0
+	for i, name := range files {
+		fmt.Fprintf(stdout, "== %s ==\n", name)
+		switch {
+		case parseErrs[i] != nil:
+			failed++
+			fmt.Fprintf(stdout, "error: %v\n", parseErrs[i])
+		case !results[i].Ok():
+			failed++
+			fmt.Fprintf(stdout, "error: %v\n", results[i].Err)
+		default:
+			if err := emitArtifact(stdout, *emit, results[i].Artifact); err != nil {
+				return err
+			}
+		}
+	}
+	if *emit == "stats" {
+		fmt.Fprintf(stdout, "== batch ==\n")
+		fmt.Fprintf(stdout, "kernels   %d (%d failed)\n", stats.Kernels, failed)
+		fmt.Fprintf(stdout, "wall      %s\n", stats.Wall)
+		fmt.Fprintf(stdout, "rate      %.1f kernels/sec\n", stats.KernelsPerSec)
+		fmt.Fprintf(stdout, "select    %s\n", stats.Stages.Select)
+		fmt.Fprintf(stdout, "place     %s\n", stats.Stages.Place)
+		fmt.Fprintf(stdout, "codegen   %s\n", stats.Stages.Codegen)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d files failed", failed, len(files))
+	}
+	return nil
+}
+
+// emitArtifact prints one compiled artifact at the requested stage.
+func emitArtifact(stdout io.Writer, emit string, art *reticle.Artifact) error {
+	switch emit {
 	case "ir":
 		fmt.Fprint(stdout, art.IR.String())
 	case "asm":
@@ -135,7 +209,7 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "compile   %s\n", art.CompileDur)
 		fmt.Fprintf(stdout, "cascades  %d\n", art.CascadeChains)
 	default:
-		return fmt.Errorf("unknown -emit %q", *emit)
+		return fmt.Errorf("unknown -emit %q", emit)
 	}
 	return nil
 }

@@ -267,3 +267,85 @@ func TestSampleProgramsCompileAndVerify(t *testing.T) {
 		}
 	}
 }
+
+const addSrc = `
+def addk(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @??;
+}
+`
+
+// TestCompileJobsMultiFile: `compile -jobs N a.ret b.ret ...` compiles
+// every file through the batch API and prints one headed section each,
+// in argument order.
+func TestCompileJobsMultiFile(t *testing.T) {
+	p1 := writeTemp(t, "macc.ret", maccSrc)
+	p2 := writeTemp(t, "addk.ret", addSrc)
+	code, out, errb := runCLI(t, "", "compile", "-jobs", "4", p1, p2)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	i1 := strings.Index(out, "== "+p1+" ==")
+	i2 := strings.Index(out, "== "+p2+" ==")
+	if i1 < 0 || i2 < 0 || i2 < i1 {
+		t.Fatalf("sections missing or out of order:\n%s", out)
+	}
+	for _, want := range []string{"module macc", "module addk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompileJobsMatchesSerial: the batch path's Verilog for one file is
+// byte-identical to the serial path's (modulo the section header).
+func TestCompileJobsMatchesSerial(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, serial, _ := runCLI(t, "", "compile", path)
+	if code != 0 {
+		t.Fatal("serial exit", code)
+	}
+	code, batch, _ := runCLI(t, "", "compile", "-jobs", "2", path, path)
+	if code != 0 {
+		t.Fatal("batch exit", code)
+	}
+	want := "== " + path + " ==\n" + serial + "== " + path + " ==\n" + serial
+	if batch != want {
+		t.Errorf("batch output is not two serial sections:\n%s", batch)
+	}
+}
+
+// TestCompileJobsPartialFailure: a broken file fails its own section and
+// the exit code, but healthy files still emit.
+func TestCompileJobsPartialFailure(t *testing.T) {
+	good := writeTemp(t, "macc.ret", maccSrc)
+	bad := writeTemp(t, "bad.ret", "def nope(\n")
+	code, out, errb := runCLI(t, "", "compile", "-jobs", "2", good, bad)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errb)
+	}
+	if !strings.Contains(out, "module macc") {
+		t.Errorf("healthy file not compiled:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("broken file has no error line:\n%s", out)
+	}
+	if !strings.Contains(errb, "1 of 2 files failed") {
+		t.Errorf("missing summary: %s", errb)
+	}
+}
+
+// TestCompileJobsStats: -emit stats in batch mode appends the aggregate
+// throughput section.
+func TestCompileJobsStats(t *testing.T) {
+	p1 := writeTemp(t, "macc.ret", maccSrc)
+	p2 := writeTemp(t, "addk.ret", addSrc)
+	code, out, _ := runCLI(t, "", "compile", "-jobs", "2", "-emit", "stats", p1, p2)
+	if code != 0 {
+		t.Fatal("exit", code)
+	}
+	for _, want := range []string{"== batch ==", "kernels   2 (0 failed)", "kernels/sec", "select"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -108,6 +108,12 @@ func CompilePattern(def *tdl.Def) (*Pattern, error) {
 
 // Library is a set of compiled patterns indexed by root operation, ready
 // for matching.
+//
+// A Library is immutable after NewLibrary returns: Candidates hands out
+// shared slices that no isel code path writes to, so one library may
+// serve any number of concurrent SelectWithLibrary calls (the
+// compile-at-scale batch path does exactly that; race_test.go locks the
+// guarantee in under -race).
 type Library struct {
 	Target *tdl.Target
 	byOp   map[ir.Op][]*Pattern

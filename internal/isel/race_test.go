@@ -1,0 +1,99 @@
+// Race stress for the shared pattern library. The ROADMAP's
+// compile-at-scale item claims isel.Library is read-only shareable after
+// NewLibrary; this suite locks that claim in under the race detector:
+// many goroutines hammer one library with SelectWithLibrary on distinct
+// functions, and every concurrent result must be byte-identical to the
+// serial one. Run in CI as part of `go test -race ./...`.
+package isel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"reticle/internal/ir"
+	"reticle/internal/irgen"
+	"reticle/internal/isel"
+	"reticle/internal/target/agilex"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/tdl"
+)
+
+// stressGoroutines matches the ROADMAP note: 32 concurrent selectors on
+// one shared library.
+const stressGoroutines = 32
+
+// stressFuncs builds one distinct generated function per (goroutine,
+// iteration) pair, deterministically seeded.
+func stressFuncs(goroutines, perG int) [][]*ir.Func {
+	out := make([][]*ir.Func, goroutines)
+	for g := range out {
+		out[g] = make([]*ir.Func, perG)
+		for i := range out[g] {
+			rng := rand.New(rand.NewSource(int64(1000*g + i)))
+			out[g][i] = irgen.Generate(rng, irgen.Config{Instrs: 10, WithVectors: true})
+		}
+	}
+	return out
+}
+
+func sharedLibraryStress(t *testing.T, target *tdl.Target) {
+	perG := 6
+	if testing.Short() {
+		perG = 2 // cap stress iterations to keep CI wall time bounded
+	}
+	lib, err := isel.NewLibrary(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs := stressFuncs(stressGoroutines, perG)
+
+	// Serial reference: select every function once, single-threaded.
+	want := make([][]string, stressGoroutines)
+	for g, fs := range funcs {
+		want[g] = make([]string, len(fs))
+		for i, f := range fs {
+			af, err := isel.SelectWithLibrary(f, lib, isel.Options{})
+			if err != nil {
+				t.Fatalf("serial g%d/%d: %v", g, i, err)
+			}
+			want[g][i] = af.String()
+		}
+	}
+
+	// Concurrent: 32 goroutines share the same library, each selecting
+	// its own distinct functions.
+	var wg sync.WaitGroup
+	errs := make(chan error, stressGoroutines)
+	for g := 0; g < stressGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, f := range funcs[g] {
+				af, err := isel.SelectWithLibrary(f, lib, isel.Options{})
+				if err != nil {
+					errs <- fmt.Errorf("g%d/%d: %w", g, i, err)
+					return
+				}
+				if got := af.String(); got != want[g][i] {
+					errs <- fmt.Errorf("g%d/%d: concurrent selection differs from serial", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSharedLibraryStressUltrascale(t *testing.T) {
+	sharedLibraryStress(t, ultrascale.Target())
+}
+
+func TestSharedLibraryStressAgilex(t *testing.T) {
+	sharedLibraryStress(t, agilex.Target())
+}

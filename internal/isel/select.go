@@ -38,7 +38,9 @@ func Select(f *ir.Func, target *tdl.Target, opts Options) (*asm.Func, error) {
 }
 
 // SelectWithLibrary is Select with a pre-compiled pattern library, for
-// callers compiling many programs against one target.
+// callers compiling many programs against one target. The library is
+// read-only here: all selection scratch (tree partitions, cover tables)
+// is allocated per call, so concurrent selections may share one library.
 func SelectWithLibrary(f *ir.Func, lib *Library, opts Options) (*asm.Func, error) {
 	if opts.Cost == nil {
 		opts.Cost = AreaCost

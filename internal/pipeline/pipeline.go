@@ -1,0 +1,244 @@
+// Package pipeline is the shared core of the Reticle compilation
+// pipeline (Fig. 7 of the paper): selection, layout optimization,
+// placement, code generation, and timing analysis, behind one
+// context-aware entry point.
+//
+// The package exists so that the public facade (package reticle) and the
+// concurrent batch compiler (internal/batch) drive the exact same code.
+// A Config is immutable once built: every field is read-only shared
+// state (target description, device layout, compiled pattern library,
+// cascade metadata), and Compile allocates all mutable scratch per call.
+// Any number of goroutines may call Compile against one Config
+// concurrently; the batch race and determinism suites lock this in.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"reticle/internal/asm"
+	"reticle/internal/cascade"
+	"reticle/internal/codegen"
+	"reticle/internal/device"
+	"reticle/internal/ir"
+	"reticle/internal/isel"
+	"reticle/internal/place"
+	"reticle/internal/refine"
+	"reticle/internal/tdl"
+	"reticle/internal/timing"
+	"reticle/internal/verilog"
+)
+
+// Config carries the shared, read-only state of one compilation target.
+// Build it once, share it across any number of concurrent Compile calls.
+type Config struct {
+	// Target is the family description (never mutated after Parse/Build).
+	Target *tdl.Target
+	// Device is the part to place on.
+	Device *device.Device
+	// Lib is the compiled pattern library for Target. isel never writes
+	// to it after NewLibrary returns.
+	Lib *isel.Library
+	// Cascades maps base opcodes to their §5.2 cascade variants; nil or
+	// empty disables the layout optimization.
+	Cascades map[string]cascade.Variants
+
+	// NoCascade disables the §5.2 layout optimization.
+	NoCascade bool
+	// Shrink enables the §5.3 binary-search area compaction.
+	Shrink bool
+	// Greedy switches instruction selection to maximal munch.
+	Greedy bool
+	// TimingDriven enables post-placement timing refinement.
+	TimingDriven bool
+}
+
+// Validate reports whether the config is complete enough to compile.
+func (cfg *Config) Validate() error {
+	if cfg == nil {
+		return fmt.Errorf("pipeline: nil config")
+	}
+	if cfg.Target == nil {
+		return fmt.Errorf("pipeline: config has no target")
+	}
+	if cfg.Device == nil {
+		return fmt.Errorf("pipeline: config has no device")
+	}
+	if cfg.Lib == nil {
+		return fmt.Errorf("pipeline: config has no pattern library")
+	}
+	if cfg.Lib.Target != cfg.Target {
+		return fmt.Errorf("pipeline: pattern library was compiled for target %s, config uses %s",
+			cfg.Lib.Target.Name, cfg.Target.Name)
+	}
+	return nil
+}
+
+// StageTimes breaks a compilation into per-stage wall time.
+type StageTimes struct {
+	Select  time.Duration
+	Cascade time.Duration
+	Place   time.Duration
+	Codegen time.Duration
+	Timing  time.Duration
+}
+
+// Add accumulates another compilation's stage times, for batch totals.
+func (s *StageTimes) Add(o StageTimes) {
+	s.Select += o.Select
+	s.Cascade += o.Cascade
+	s.Place += o.Place
+	s.Codegen += o.Codegen
+	s.Timing += o.Timing
+}
+
+// Artifact is a completed compilation.
+type Artifact struct {
+	// IR is the source program.
+	IR *ir.Func
+	// Asm is the selected, layout-optimized assembly program with
+	// unresolved locations (family-specific).
+	Asm *asm.Func
+	// Placed is the device-specific program with resolved locations.
+	Placed *asm.Func
+	// Module is the structural Verilog AST; Verilog its rendering.
+	Module  *verilog.Module
+	Verilog string
+
+	// Utilization.
+	LUTs, DSPs, FFs, Carries int
+	// Timing.
+	CriticalNs float64
+	FMaxMHz    float64
+	// CriticalPath lists instruction destinations along the worst path.
+	CriticalPath []string
+	// CompileDur measures select + cascade + place + codegen.
+	CompileDur time.Duration
+	// Stages breaks the compilation into per-stage wall time (including
+	// timing analysis, which CompileDur excludes for historical reasons).
+	Stages StageTimes
+	// CascadeChains counts chains rewritten by the layout optimizer.
+	CascadeChains int
+	// SolverSteps counts placement search steps.
+	SolverSteps int
+}
+
+// checkCtx turns a cancelled or expired context into a stage-labelled
+// error. Cancellation is observed at stage boundaries: a kernel already
+// inside the placement solver finishes (or hits the solver step limit)
+// before noticing.
+func checkCtx(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("pipeline: %s: %w", stage, err)
+	}
+	return nil
+}
+
+// Compile runs the full pipeline on one IR function. It never mutates f,
+// cfg, or anything reachable from them; all scratch state is per-call.
+func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("pipeline: nil function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var stages StageTimes
+	t0 := time.Now()
+	if err := checkCtx(ctx, "selection"); err != nil {
+		return nil, err
+	}
+	af, err := isel.SelectWithLibrary(f, cfg.Lib, isel.Options{Greedy: cfg.Greedy})
+	if err != nil {
+		return nil, fmt.Errorf("reticle: selection: %w", err)
+	}
+	stages.Select = time.Since(t0)
+
+	chains := 0
+	tc := time.Now()
+	if !cfg.NoCascade && len(cfg.Cascades) > 0 {
+		if err := checkCtx(ctx, "layout optimization"); err != nil {
+			return nil, err
+		}
+		opt, st, err := cascade.Apply(af, cfg.Target, cascade.Options{
+			Cascades: cfg.Cascades,
+			AccPort:  "c",
+			MaxChain: cfg.Device.Height,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: layout optimization: %w", err)
+		}
+		af = opt
+		chains = st.Chains
+	}
+	stages.Cascade = time.Since(tc)
+
+	if err := checkCtx(ctx, "placement"); err != nil {
+		return nil, err
+	}
+	tp := time.Now()
+	var placedFn *asm.Func
+	var solverSteps int
+	if cfg.TimingDriven {
+		ref, err := refine.Place(af, cfg.Target, cfg.Device, refine.Options{
+			Place: place.Options{Shrink: cfg.Shrink},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: placement: %w", err)
+		}
+		placedFn = ref.Placed
+	} else {
+		placed, err := place.Place(af, cfg.Device, place.Options{Shrink: cfg.Shrink})
+		if err != nil {
+			return nil, fmt.Errorf("reticle: placement: %w", err)
+		}
+		placedFn = placed.Fn
+		solverSteps = placed.SolverSteps
+	}
+	stages.Place = time.Since(tp)
+
+	if err := checkCtx(ctx, "code generation"); err != nil {
+		return nil, err
+	}
+	tg := time.Now()
+	mod, stats, err := codegen.Generate(placedFn, cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("reticle: code generation: %w", err)
+	}
+	stages.Codegen = time.Since(tg)
+	dur := time.Since(t0)
+
+	if err := checkCtx(ctx, "timing analysis"); err != nil {
+		return nil, err
+	}
+	tt := time.Now()
+	rep, err := timing.Analyze(placedFn, cfg.Target, cfg.Device, timing.DefaultOptions())
+	if err != nil {
+		return nil, fmt.Errorf("reticle: timing: %w", err)
+	}
+	stages.Timing = time.Since(tt)
+
+	return &Artifact{
+		CriticalPath:  rep.Path,
+		IR:            f,
+		Asm:           af,
+		Placed:        placedFn,
+		Module:        mod,
+		Verilog:       mod.String(),
+		LUTs:          stats.Luts,
+		DSPs:          stats.Dsps,
+		FFs:           stats.FFs,
+		Carries:       stats.Carries,
+		CriticalNs:    rep.CriticalNs,
+		FMaxMHz:       rep.FMaxMHz,
+		CompileDur:    dur,
+		Stages:        stages,
+		CascadeChains: chains,
+		SolverSteps:   solverSteps,
+	}, nil
+}

@@ -78,6 +78,10 @@ type cluster struct {
 func (c *cluster) singleton() bool { return len(c.members) == 1 }
 
 // Place resolves every assembly instruction's location on the device.
+//
+// Place is deterministic and safe for concurrent use: it reads f and dev
+// without mutating them (the result holds a placed clone of f) and keeps
+// all solver state per call. The batch compiler leans on both properties.
 func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 	clusters, err := buildClusters(f)
 	if err != nil {
@@ -350,8 +354,11 @@ func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]in
 			macros = append(macros, ci)
 		}
 	}
-	for _, vs := range singles {
-		if len(vs) > 1 {
+	// Register groups in fixed primitive order: solver behavior must not
+	// depend on map iteration, so parallel batch output stays
+	// byte-identical to serial compilation.
+	for _, prim := range []ir.Resource{ir.ResLut, ir.ResDsp} {
+		if vs := singles[prim]; len(vs) > 1 {
 			p.AddAllDifferent(vs)
 		}
 	}

@@ -22,24 +22,21 @@
 package reticle
 
 import (
-	"fmt"
-	"time"
+	"context"
 
 	"reticle/internal/asm"
+	"reticle/internal/batch"
 	"reticle/internal/behav"
 	"reticle/internal/cascade"
-	"reticle/internal/codegen"
 	"reticle/internal/device"
 	"reticle/internal/interp"
 	"reticle/internal/ir"
 	"reticle/internal/isel"
 	"reticle/internal/passes"
-	"reticle/internal/place"
-	"reticle/internal/refine"
+	"reticle/internal/pipeline"
 	"reticle/internal/target/agilex"
 	"reticle/internal/target/ultrascale"
 	"reticle/internal/tdl"
-	"reticle/internal/timing"
 	"reticle/internal/verilog"
 	"reticle/internal/vivado"
 )
@@ -129,10 +126,12 @@ type Options struct {
 }
 
 // Compiler runs the full Reticle pipeline against one target and device.
+// After NewCompilerWith returns, every field the compiler holds is
+// read-only shared state: Compile, CompileContext, and CompileBatch may
+// be called from any number of goroutines concurrently.
 type Compiler struct {
-	opts     Options
-	lib      *isel.Library
-	cascades map[string]cascade.Variants
+	opts Options
+	cfg  pipeline.Config
 }
 
 // NewCompiler returns a compiler for the bundled UltraScale-like target
@@ -151,21 +150,32 @@ func NewCompilerWith(opts Options) (*Compiler, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Compiler{opts: opts, cascades: map[string]cascade.Variants{}}
-	c.lib = lib
+	cascades := map[string]cascade.Variants{}
 	// Cascade metadata ships with each bundled family; custom targets can
 	// skip the pass or extend this map.
 	switch opts.Target {
 	case ultrascale.Target():
 		for base, v := range ultrascale.Cascades() {
-			c.cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
+			cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
 		}
 	case agilex.Target():
 		for base, v := range agilex.Cascades() {
-			c.cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
+			cascades[base] = cascade.Variants{Co: v.Co, Ci: v.Ci, CoCi: v.CoCi}
 		}
 	}
-	return c, nil
+	return &Compiler{
+		opts: opts,
+		cfg: pipeline.Config{
+			Target:       opts.Target,
+			Device:       opts.Device,
+			Lib:          lib,
+			Cascades:     cascades,
+			NoCascade:    opts.NoCascade,
+			Shrink:       opts.Shrink,
+			Greedy:       opts.Greedy,
+			TimingDriven: opts.TimingDriven,
+		},
+	}, nil
 }
 
 // Target returns the compiler's target description.
@@ -174,33 +184,13 @@ func (c *Compiler) Target() *TargetDesc { return c.opts.Target }
 // Device returns the compiler's device.
 func (c *Compiler) Device() *Device { return c.opts.Device }
 
-// Artifact is a completed compilation.
-type Artifact struct {
-	// IR is the source program.
-	IR *Func
-	// Asm is the selected, layout-optimized assembly program with
-	// unresolved locations (family-specific).
-	Asm *AsmFunc
-	// Placed is the device-specific program with resolved locations.
-	Placed *AsmFunc
-	// Module is the structural Verilog AST; Verilog its rendering.
-	Module  *Module
-	Verilog string
+// Artifact is a completed compilation. It includes per-stage wall times
+// (Stages) next to the aggregate CompileDur.
+type Artifact = pipeline.Artifact
 
-	// Utilization.
-	LUTs, DSPs, FFs, Carries int
-	// Timing.
-	CriticalNs float64
-	FMaxMHz    float64
-	// CriticalPath lists instruction destinations along the worst path.
-	CriticalPath []string
-	// CompileDur measures select + cascade + place + codegen.
-	CompileDur time.Duration
-	// CascadeChains counts chains rewritten by the layout optimizer.
-	CascadeChains int
-	// SolverSteps counts placement search steps.
-	SolverSteps int
-}
+// StageTimes breaks a compilation (or a batch of them) into per-stage
+// wall time.
+type StageTimes = pipeline.StageTimes
 
 // CompileString compiles IR source text through the full pipeline.
 func (c *Compiler) CompileString(src string) (*Artifact, error) {
@@ -214,69 +204,54 @@ func (c *Compiler) CompileString(src string) (*Artifact, error) {
 // Compile runs selection, layout optimization, placement, code generation,
 // and timing analysis on an IR function.
 func (c *Compiler) Compile(f *Func) (*Artifact, error) {
-	t0 := time.Now()
-	af, err := isel.SelectWithLibrary(f, c.lib, isel.Options{Greedy: c.opts.Greedy})
-	if err != nil {
-		return nil, fmt.Errorf("reticle: selection: %w", err)
-	}
-	chains := 0
-	if !c.opts.NoCascade && len(c.cascades) > 0 {
-		opt, st, err := cascade.Apply(af, c.opts.Target, cascade.Options{
-			Cascades: c.cascades,
-			AccPort:  "c",
-			MaxChain: c.opts.Device.Height,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("reticle: layout optimization: %w", err)
-		}
-		af = opt
-		chains = st.Chains
-	}
-	var placedFn *AsmFunc
-	var solverSteps int
-	if c.opts.TimingDriven {
-		ref, err := refine.Place(af, c.opts.Target, c.opts.Device, refine.Options{
-			Place: place.Options{Shrink: c.opts.Shrink},
-		})
-		if err != nil {
-			return nil, fmt.Errorf("reticle: placement: %w", err)
-		}
-		placedFn = ref.Placed
-	} else {
-		placed, err := place.Place(af, c.opts.Device, place.Options{Shrink: c.opts.Shrink})
-		if err != nil {
-			return nil, fmt.Errorf("reticle: placement: %w", err)
-		}
-		placedFn = placed.Fn
-		solverSteps = placed.SolverSteps
-	}
-	mod, stats, err := codegen.Generate(placedFn, c.opts.Target)
-	if err != nil {
-		return nil, fmt.Errorf("reticle: code generation: %w", err)
-	}
-	dur := time.Since(t0)
+	return c.CompileContext(context.Background(), f)
+}
 
-	rep, err := timing.Analyze(placedFn, c.opts.Target, c.opts.Device, timing.DefaultOptions())
-	if err != nil {
-		return nil, fmt.Errorf("reticle: timing: %w", err)
+// CompileContext is Compile under a context: cancellation and deadlines
+// are observed at pipeline stage boundaries.
+func (c *Compiler) CompileContext(ctx context.Context, f *Func) (*Artifact, error) {
+	return pipeline.Compile(ctx, &c.cfg, f)
+}
+
+// Batch compilation types, re-exported from internal/batch.
+type (
+	// BatchJob is one kernel in a CompileBatch call.
+	BatchJob = batch.Job
+	// BatchOptions bounds worker concurrency and per-kernel timeouts.
+	BatchOptions = batch.Options
+	// BatchResult is one kernel's outcome, at its submission index.
+	BatchResult = batch.Result
+	// BatchStats aggregates a batch run (kernels/sec, per-stage time).
+	BatchStats = batch.Stats
+)
+
+// CompileBatch compiles many kernels concurrently against this compiler's
+// shared target, device, and pattern library. At most opts.Jobs worker
+// goroutines run at once; each kernel may be cancelled or timed out via
+// ctx and opts.KernelTimeout. Results arrive in submission order with
+// per-kernel errors — one failing kernel never fails the batch — and the
+// output for each kernel is byte-identical to serial Compile.
+func (c *Compiler) CompileBatch(ctx context.Context, fs []*Func, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	jobs := make([]BatchJob, len(fs))
+	for i, f := range fs {
+		jobs[i] = BatchJob{Func: f}
 	}
-	return &Artifact{
-		CriticalPath:  rep.Path,
-		IR:            f,
-		Asm:           af,
-		Placed:        placedFn,
-		Module:        mod,
-		Verilog:       mod.String(),
-		LUTs:          stats.Luts,
-		DSPs:          stats.Dsps,
-		FFs:           stats.FFs,
-		Carries:       stats.Carries,
-		CriticalNs:    rep.CriticalNs,
-		FMaxMHz:       rep.FMaxMHz,
-		CompileDur:    dur,
-		CascadeChains: chains,
-		SolverSteps:   solverSteps,
-	}, nil
+	return batch.Compile(ctx, &c.cfg, jobs, opts)
+}
+
+// CompileBatchJobs is CompileBatch with explicit per-kernel labels.
+func (c *Compiler) CompileBatchJobs(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	return batch.Compile(ctx, &c.cfg, jobs, opts)
+}
+
+// CompileBatch compiles many kernels concurrently with a default
+// (UltraScale-like) compiler. See Compiler.CompileBatch.
+func CompileBatch(ctx context.Context, fs []*Func, opts BatchOptions) ([]BatchResult, BatchStats, error) {
+	c, err := NewCompiler()
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	return c.CompileBatch(ctx, fs, opts)
 }
 
 // BehavioralVerilog renders the §7 baseline translations: standard
