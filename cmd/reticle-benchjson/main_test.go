@@ -17,6 +17,10 @@ ok  	reticle	0.672s
 pkg: reticle/internal/sat
 BenchmarkSolve 	     100	     12345 ns/op
 ok  	reticle/internal/sat	0.1s
+pkg: reticle/internal/server
+BenchmarkServeCold   	      30	   1238234 ns/op
+BenchmarkServeCached 	      30	     67359 ns/op
+ok  	reticle/internal/server	0.3s
 `
 
 func TestParse(t *testing.T) {
@@ -27,8 +31,8 @@ func TestParse(t *testing.T) {
 	if base.GoOS != "linux" || base.GoArch != "amd64" || !strings.Contains(base.CPU, "Xeon") {
 		t.Errorf("context headers: %+v", base)
 	}
-	if len(base.Benchmarks) != 4 {
-		t.Fatalf("got %d benchmarks, want 4", len(base.Benchmarks))
+	if len(base.Benchmarks) != 6 {
+		t.Fatalf("got %d benchmarks, want 6", len(base.Benchmarks))
 	}
 	fig4 := base.Benchmarks[0]
 	if fig4.Name != "BenchmarkFigure4" || fig4.N != 1 || fig4.NsPerOp != 15180144 || fig4.Pkg != "reticle" {
@@ -48,6 +52,18 @@ func TestParse(t *testing.T) {
 	sat := base.Benchmarks[3]
 	if sat.Pkg != "reticle/internal/sat" || sat.N != 100 || sat.NsPerOp != 12345 {
 		t.Errorf("sat = %+v", sat)
+	}
+	// The compile-service pair rides in the same baseline so the cache's
+	// cold/hit leverage is recorded per commit.
+	cold, cached := base.Benchmarks[4], base.Benchmarks[5]
+	if cold.Name != "BenchmarkServeCold" || cold.Pkg != "reticle/internal/server" {
+		t.Errorf("cold = %+v", cold)
+	}
+	if cached.Name != "BenchmarkServeCached" || cached.NsPerOp != 67359 {
+		t.Errorf("cached = %+v", cached)
+	}
+	if ratio := cold.NsPerOp / cached.NsPerOp; ratio < 2 {
+		t.Errorf("sample cold/cached ratio %.1f implausibly low", ratio)
 	}
 }
 

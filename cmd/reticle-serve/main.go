@@ -1,0 +1,79 @@
+// Command reticle-serve is the long-running Reticle compile service: an
+// HTTP front end over the concurrent batch compiler with a
+// content-addressed artifact cache, so repeated and concurrent requests
+// for the same kernel compile once and hit thereafter.
+//
+// Usage:
+//
+//	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
+//
+// Endpoints (all JSON; see README "Compile service"):
+//
+//	POST /compile  {"ir": "def f(...) ...", "family": "ultrascale"}
+//	POST /batch    {"kernels": [{"ir": "..."}, ...], "jobs": 4}
+//	GET  /healthz
+//	GET  /stats
+//
+// SIGINT/SIGTERM drain gracefully: listeners close, in-flight compiles
+// finish (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reticle"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache", 0, "artifact cache entries (0 = default)")
+	jobs := flag.Int("jobs", 0, "default /batch worker bound (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline (0 = none)")
+	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
+	flag.Parse()
+
+	srv, err := reticle.NewServer(reticle.ServerOptions{
+		CacheEntries:   *cacheEntries,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		Jobs:           *jobs,
+	})
+	if err != nil {
+		log.Fatal("reticle-serve: ", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	log.Printf("reticle-serve: listening on %s (families %v)", *addr, srv.Families())
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("reticle-serve: ", err)
+		}
+	case <-ctx.Done():
+		log.Printf("reticle-serve: signal received, draining (bound %s)", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Fatal("reticle-serve: drain: ", err)
+		}
+		st := srv.CacheStats()
+		fmt.Fprintf(os.Stderr,
+			"reticle-serve: drained; cache %d/%d entries, %.0f%% hit rate, %d compiles\n",
+			st.Entries, st.MaxEntries, 100*st.HitRate(), st.Computes)
+	}
+}

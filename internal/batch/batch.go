@@ -17,6 +17,7 @@ package batch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,11 +37,36 @@ type Job struct {
 
 // Options configures a batch run.
 type Options struct {
-	// Jobs bounds concurrent worker goroutines; <=0 means GOMAXPROCS.
+	// Jobs bounds concurrent worker goroutines; 0 means GOMAXPROCS,
+	// negative is rejected (ErrInvalidJobs).
 	Jobs int
-	// KernelTimeout bounds each kernel's compile; 0 means no timeout.
-	// Timeouts are observed at pipeline stage boundaries.
+	// KernelTimeout bounds each kernel's compile; 0 means no timeout,
+	// negative is rejected (ErrInvalidTimeout). Timeouts are observed at
+	// pipeline stage boundaries.
 	KernelTimeout time.Duration
+}
+
+// Typed option-validation errors, so callers (e.g. the HTTP compile
+// service) can map bad requests to 400s with errors.Is instead of
+// string-matching.
+var (
+	// ErrInvalidJobs reports a negative Options.Jobs.
+	ErrInvalidJobs = errors.New("batch: Options.Jobs must be >= 0")
+	// ErrInvalidTimeout reports a negative Options.KernelTimeout.
+	ErrInvalidTimeout = errors.New("batch: Options.KernelTimeout must be >= 0")
+)
+
+// Validate checks the options. Zero values are valid defaults (Jobs 0 =
+// GOMAXPROCS, KernelTimeout 0 = no timeout); negatives, which previously
+// slid through as implicit defaults, are explicit typed errors.
+func (o Options) Validate() error {
+	if o.Jobs < 0 {
+		return fmt.Errorf("%w (got %d)", ErrInvalidJobs, o.Jobs)
+	}
+	if o.KernelTimeout < 0 {
+		return fmt.Errorf("%w (got %s)", ErrInvalidTimeout, o.KernelTimeout)
+	}
+	return nil
 }
 
 // Result is the outcome of one kernel, at the submission index.
@@ -77,10 +103,13 @@ type Stats struct {
 // Compile runs every job through the shared config with at most
 // Options.Jobs concurrent workers. The returned slice has one Result per
 // job, in submission order. The error is non-nil only for an unusable
-// config; per-kernel failures (including a cancelled context) are
-// reported in the results.
+// config or invalid options (see Options.Validate); per-kernel failures
+// (including a cancelled context) are reported in the results.
 func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options) ([]Result, Stats, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := opts.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	if ctx == nil {

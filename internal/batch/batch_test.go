@@ -414,3 +414,59 @@ func TestCompileBatchSharedConfigConcurrentBatches(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestOptionsValidate pins the option-validation contract: zero values
+// are valid defaults, negatives are typed errors callers can match with
+// errors.Is, and Compile enforces Validate before spawning workers.
+// Regression: negative Jobs/KernelTimeout previously slid through as
+// implicit defaults instead of being rejected.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want error // nil means valid
+	}{
+		{"zero-defaults", Options{}, nil},
+		{"explicit-jobs", Options{Jobs: 4}, nil},
+		{"explicit-timeout", Options{KernelTimeout: time.Second}, nil},
+		{"negative-jobs", Options{Jobs: -1}, ErrInvalidJobs},
+		{"very-negative-jobs", Options{Jobs: -1 << 30}, ErrInvalidJobs},
+		{"negative-timeout", Options{KernelTimeout: -time.Nanosecond}, ErrInvalidTimeout},
+		{"both-negative", Options{Jobs: -2, KernelTimeout: -time.Hour}, ErrInvalidJobs},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCompileRejectsInvalidOptions: Compile surfaces Validate errors as
+// batch-level failures (no results, no partial work), preserving the
+// typed error for errors.Is.
+func TestCompileRejectsInvalidOptions(t *testing.T) {
+	cfg := testConfig(t)
+	jobs := []Job{{Func: goodKernel(t, 0)}}
+
+	results, st, err := Compile(context.Background(), cfg, jobs, Options{Jobs: -1})
+	if !errors.Is(err, ErrInvalidJobs) {
+		t.Fatalf("Jobs=-1: err = %v, want ErrInvalidJobs", err)
+	}
+	if results != nil || st.Kernels != 0 {
+		t.Errorf("Jobs=-1 ran work anyway: results=%v stats=%+v", results, st)
+	}
+
+	_, _, err = Compile(context.Background(), cfg, jobs, Options{KernelTimeout: -time.Second})
+	if !errors.Is(err, ErrInvalidTimeout) {
+		t.Fatalf("KernelTimeout<0: err = %v, want ErrInvalidTimeout", err)
+	}
+}

@@ -1,0 +1,93 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+)
+
+// CanonicalHash returns a hex-encoded SHA-256 over a canonical rendering
+// of the function, the content-addressed identity used by the artifact
+// cache (internal/cache).
+//
+// The rendering is alpha-normalized: every name that is neither an input
+// nor an output port — i.e. every internal temporary — is replaced by a
+// sequential canonical name in order of first definition, so two
+// functions that differ only in the spelling of their temporaries hash
+// equal. Everything observable stays in the hash: the function name, the
+// interface ports (names and types, in order, because they become Verilog
+// module ports), instruction order, opcodes, destination types,
+// attributes, argument wiring, and resource annotations on compute
+// instructions. Resource bits on wire instructions are ignored, matching
+// the printer: they have no meaning there.
+//
+// Any single mutation of an opcode, a width, an attribute, an argument
+// edge, or a compute resource therefore yields a different hash, while
+// renaming temporaries does not. Instruction reordering is deliberately
+// significant — the pipeline preserves body order, so order is part of
+// the artifact's identity.
+func CanonicalHash(f *Func) string {
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	emit := func(parts ...string) {
+		buf = buf[:0]
+		for _, p := range parts {
+			buf = append(buf, p...)
+			buf = append(buf, 0) // unambiguous field separator
+		}
+		h.Write(buf)
+	}
+
+	emit("func", f.Name)
+	ports := make(map[string]bool, len(f.Inputs)+len(f.Outputs))
+	for _, p := range f.Inputs {
+		ports[p.Name] = true
+		emit("in", p.Name, p.Type.String())
+	}
+	for _, p := range f.Outputs {
+		ports[p.Name] = true
+		emit("out", p.Name, p.Type.String())
+	}
+
+	// Canonical names for temporaries, assigned in definition order. The
+	// "p:"/"t:"/"f:" tags keep port names, canonical temporaries, and free
+	// (undefined) names in disjoint namespaces.
+	canon := make(map[string]string, len(f.Body))
+	next := 0
+	for _, in := range f.Body {
+		if !ports[in.Dest] {
+			if _, ok := canon[in.Dest]; !ok {
+				canon[in.Dest] = "t:" + strconv.Itoa(next)
+				next++
+			}
+		}
+	}
+	name := func(n string) string {
+		if ports[n] {
+			return "p:" + n
+		}
+		if c, ok := canon[n]; ok {
+			return c
+		}
+		return "f:" + n
+	}
+
+	for _, in := range f.Body {
+		res := ""
+		if in.IsCompute() {
+			res = in.Res.String()
+		}
+		parts := make([]string, 0, 5+len(in.Attrs)+len(in.Args))
+		parts = append(parts, "ins", name(in.Dest), in.Type.String(), in.Op.String())
+		for _, a := range in.Attrs {
+			parts = append(parts, strconv.FormatInt(a, 10))
+		}
+		parts = append(parts, "|")
+		for _, a := range in.Args {
+			parts = append(parts, name(a))
+		}
+		parts = append(parts, res)
+		emit(parts...)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

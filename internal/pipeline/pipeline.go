@@ -75,6 +75,29 @@ func (cfg *Config) Validate() error {
 	return nil
 }
 
+// Fingerprint returns a stable identity string for everything in the
+// config that can change a compilation's output: the target family, the
+// device, and the option flags. Together with ir.CanonicalHash it forms
+// the artifact cache key (internal/cache) — two configs with equal
+// fingerprints produce byte-identical artifacts for equal kernels, so a
+// new flag that affects output MUST be added here or cached artifacts go
+// stale silently.
+//
+// The pattern library and cascade metadata are deliberately excluded:
+// both are derived deterministically from the target description, so the
+// family name subsumes them.
+func (cfg *Config) Fingerprint() string {
+	target, dev := "", ""
+	if cfg.Target != nil {
+		target = cfg.Target.Name
+	}
+	if cfg.Device != nil {
+		dev = cfg.Device.Name
+	}
+	return fmt.Sprintf("target=%s;device=%s;nocascade=%t;shrink=%t;greedy=%t;timingdriven=%t",
+		target, dev, cfg.NoCascade, cfg.Shrink, cfg.Greedy, cfg.TimingDriven)
+}
+
 // StageTimes breaks a compilation into per-stage wall time.
 type StageTimes struct {
 	Select  time.Duration

@@ -1,0 +1,6 @@
+package server
+
+// SetOnCompileStart installs the test hook invoked as a kernel enters
+// the pipeline, letting the drain suite synchronize Shutdown with an
+// in-flight compile. Install before traffic, and restore nil after.
+func SetOnCompileStart(f func()) { onCompileStart = f }

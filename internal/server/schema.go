@@ -1,0 +1,214 @@
+package server
+
+import (
+	"encoding/json"
+
+	"reticle/internal/pipeline"
+)
+
+// CompileRequest is the POST /compile body.
+type CompileRequest struct {
+	// Name labels the response; empty defaults to the parsed function name.
+	Name string `json:"name,omitempty"`
+	// Family selects the target config ("ultrascale", "agilex"); empty
+	// means the server's default family.
+	Family string `json:"family,omitempty"`
+	// IR is the kernel source text (Fig. 5a syntax).
+	IR string `json:"ir"`
+	// TimeoutMS bounds this compile; 0 means the server default, negative
+	// is a 400.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ArtifactJSON is the wire form of a completed compilation. Asm, Placed,
+// and Verilog are the exact bytes serial reticle.Compile renders — the
+// service suite asserts byte equality.
+type ArtifactJSON struct {
+	Asm     string `json:"asm"`
+	Placed  string `json:"placed"`
+	Verilog string `json:"verilog"`
+
+	LUTs    int `json:"luts"`
+	DSPs    int `json:"dsps"`
+	FFs     int `json:"ffs"`
+	Carries int `json:"carries"`
+
+	CriticalNs float64 `json:"critical_ns"`
+	FMaxMHz    float64 `json:"fmax_mhz"`
+
+	// CompileNS and Stages are the wall times of the compile that
+	// produced the artifact; on a cache hit they describe the original
+	// compile, not this request.
+	CompileNS     int64      `json:"compile_ns"`
+	Stages        StagesJSON `json:"stages"`
+	CascadeChains int        `json:"cascade_chains"`
+	SolverSteps   int        `json:"solver_steps"`
+}
+
+// StagesJSON breaks a compile (or a cumulative total) into per-stage
+// wall time, in nanoseconds.
+type StagesJSON struct {
+	SelectNS  int64 `json:"select_ns"`
+	CascadeNS int64 `json:"cascade_ns"`
+	PlaceNS   int64 `json:"place_ns"`
+	CodegenNS int64 `json:"codegen_ns"`
+	TimingNS  int64 `json:"timing_ns"`
+}
+
+// CompileResponse is the POST /compile success body.
+type CompileResponse struct {
+	Name   string `json:"name"`
+	Family string `json:"family"`
+	// Cache is "hit" when the artifact was served without running the
+	// pipeline for this request (resident entry or coalesced onto an
+	// in-flight compile), "miss" when this request compiled it.
+	Cache string `json:"cache"`
+	// Key is the content-addressed cache key (hex SHA-256 over the
+	// canonical IR hash and the config fingerprint).
+	Key string `json:"key"`
+	Artifact ArtifactJSON `json:"artifact"`
+}
+
+// compileResponseWire is the server-side mirror of CompileResponse: the
+// artifact rides as pre-rendered bytes (marshaled once at cache-insert
+// time), so hits skip re-encoding. The emitted JSON is identical to
+// marshaling a CompileResponse.
+type compileResponseWire struct {
+	Name     string          `json:"name"`
+	Family   string          `json:"family"`
+	Cache    string          `json:"cache"`
+	Key      string          `json:"key"`
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+// BatchKernel is one kernel in a POST /batch body.
+type BatchKernel struct {
+	Name string `json:"name,omitempty"`
+	IR   string `json:"ir"`
+}
+
+// BatchRequest is the POST /batch body.
+type BatchRequest struct {
+	Family string `json:"family,omitempty"`
+	// Jobs bounds worker goroutines; 0 means the server default,
+	// negative is a 400 (batch.ErrInvalidJobs).
+	Jobs int `json:"jobs,omitempty"`
+	// TimeoutMS is the per-kernel compile deadline; 0 means none,
+	// negative is a 400 (batch.ErrInvalidTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Kernels   []BatchKernel `json:"kernels"`
+}
+
+// BatchKernelResult is one kernel's outcome, at its submission index.
+type BatchKernelResult struct {
+	Name string `json:"name"`
+	OK   bool   `json:"ok"`
+	// Cache is "hit"/"miss"; empty when the kernel failed to parse.
+	Cache    string       `json:"cache,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Artifact ArtifactJSON `json:"artifact,omitempty"`
+}
+
+// batchKernelResultWire / batchResponseWire mirror their exported
+// counterparts with pre-rendered artifact bytes; kernels that failed
+// (no artifact) omit the field, which clients decode as a zero
+// ArtifactJSON.
+type batchKernelResultWire struct {
+	Name     string          `json:"name"`
+	OK       bool            `json:"ok"`
+	Cache    string          `json:"cache,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	Artifact json.RawMessage `json:"artifact,omitempty"`
+}
+
+type batchResponseWire struct {
+	Family  string                  `json:"family"`
+	Results []batchKernelResultWire `json:"results"`
+	Stats   BatchStatsJSON          `json:"stats"`
+}
+
+// BatchStatsJSON aggregates a /batch run.
+type BatchStatsJSON struct {
+	Kernels   int `json:"kernels"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	// Compiled counts kernels that went through the pipeline (the rest
+	// were cache hits or parse failures).
+	Compiled      int     `json:"compiled"`
+	WallNS        int64   `json:"wall_ns"`
+	KernelsPerSec float64 `json:"kernels_per_sec"`
+}
+
+// BatchResponse is the POST /batch success body.
+type BatchResponse struct {
+	Family  string              `json:"family"`
+	Results []BatchKernelResult `json:"results"`
+	Stats   BatchStatsJSON      `json:"stats"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// HealthResponse is the GET /healthz body.
+type HealthResponse struct {
+	Status   string   `json:"status"`
+	UptimeMS int64    `json:"uptime_ms"`
+	Families []string `json:"families"`
+}
+
+// CacheStatsJSON is the cache section of GET /stats.
+type CacheStatsJSON struct {
+	Entries    int     `json:"entries"`
+	MaxEntries int     `json:"max_entries"`
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	Coalesced  uint64  `json:"coalesced"`
+	Evictions  uint64  `json:"evictions"`
+	Computes   uint64  `json:"computes"`
+	InFlight   int     `json:"in_flight"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Requests        int64          `json:"requests"`
+	Kernels         int64          `json:"kernels"`
+	InFlightKernels int64          `json:"in_flight_kernels"`
+	UptimeMS        int64          `json:"uptime_ms"`
+	Families        []string       `json:"families"`
+	Cache           CacheStatsJSON `json:"cache"`
+	Stages          StagesJSON     `json:"stages"`
+}
+
+// artifactJSON renders an artifact for the wire.
+func artifactJSON(a *pipeline.Artifact) ArtifactJSON {
+	return ArtifactJSON{
+		Asm:           a.Asm.String(),
+		Placed:        a.Placed.String(),
+		Verilog:       a.Verilog,
+		LUTs:          a.LUTs,
+		DSPs:          a.DSPs,
+		FFs:           a.FFs,
+		Carries:       a.Carries,
+		CriticalNs:    a.CriticalNs,
+		FMaxMHz:       a.FMaxMHz,
+		CompileNS:     a.CompileDur.Nanoseconds(),
+		Stages:        stageJSON(a.Stages),
+		CascadeChains: a.CascadeChains,
+		SolverSteps:   a.SolverSteps,
+	}
+}
+
+// stageJSON renders stage times for the wire.
+func stageJSON(st pipeline.StageTimes) StagesJSON {
+	return StagesJSON{
+		SelectNS:  st.Select.Nanoseconds(),
+		CascadeNS: st.Cascade.Nanoseconds(),
+		PlaceNS:   st.Place.Nanoseconds(),
+		CodegenNS: st.Codegen.Nanoseconds(),
+		TimingNS:  st.Timing.Nanoseconds(),
+	}
+}

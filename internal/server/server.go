@@ -1,0 +1,548 @@
+// Package server is the compile-as-a-service front end: a long-running
+// HTTP service exposing the Reticle pipeline over the concurrent batch
+// tier (internal/batch) with a content-addressed artifact cache
+// (internal/cache) in front.
+//
+// Endpoints:
+//
+//	POST /compile  — compile one kernel; cached, singleflighted
+//	POST /batch    — compile N kernels through the bounded worker pool
+//	GET  /healthz  — liveness: status, uptime, families served
+//	GET  /stats    — cache hit rate, in-flight kernels, cumulative
+//	                 per-stage wall time, request counters
+//
+// Robustness contract: request bodies are size-limited (413 past the
+// bound), every request carries a deadline that is propagated as a
+// context into the pipeline/batch tier (504 on expiry), handler panics
+// are isolated to a 500 JSON response (mirroring batch's per-kernel
+// recovery), malformed input is a structured 4xx, and Shutdown drains
+// in-flight requests before returning. Every response, success or
+// failure, is JSON.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reticle/internal/batch"
+	"reticle/internal/cache"
+	"reticle/internal/ir"
+	"reticle/internal/pipeline"
+)
+
+// Options configures a Server.
+type Options struct {
+	// CacheEntries bounds the artifact LRU; <=0 means cache.DefaultEntries.
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies; <=0 means 1 MiB.
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request compile deadline applied when a
+	// request does not set timeout_ms; 0 means no server-side deadline.
+	DefaultTimeout time.Duration
+	// Jobs bounds /batch worker goroutines when the request omits jobs;
+	// <=0 means GOMAXPROCS (the batch tier's default).
+	Jobs int
+	// DefaultFamily names the config used when a request omits "family".
+	// Empty with exactly one configured family means that family.
+	DefaultFamily string
+}
+
+// Server serves compile requests over shared read-only pipeline configs,
+// one per family. It implements http.Handler, so tests drive it through
+// httptest directly; Start/Shutdown manage a real listener with graceful
+// drain.
+type Server struct {
+	opts    Options
+	configs map[string]*pipeline.Config
+	cache   *cache.Cache[cachedArtifact]
+	texts   *cache.Cache[textEntry]
+	mux     *http.ServeMux
+	hs      *http.Server
+	start   time.Time
+
+	requests atomic.Int64 // HTTP requests accepted
+	kernels  atomic.Int64 // kernels entering the pipeline (not cache hits)
+	inflight atomic.Int64 // kernels currently inside the pipeline
+
+	stageMu sync.Mutex
+	stages  pipeline.StageTimes // cumulative, compiled kernels only
+}
+
+// onCompileStart, when non-nil, is invoked as a kernel enters the
+// pipeline. The drain test uses it to synchronize Shutdown with an
+// in-flight request; it must be set before the server receives traffic.
+var onCompileStart func()
+
+// cachedArtifact is the cache's unit of storage: the compiled artifact
+// plus its wire rendering, marshaled once at insert time so cache hits
+// serve pre-encoded bytes instead of re-rendering multi-kilobyte
+// Verilog on every request.
+type cachedArtifact struct {
+	art      *pipeline.Artifact
+	rendered json.RawMessage // json.Marshal(artifactJSON(art))
+}
+
+// textEntry is the exact-text fast path: a memo from the SHA-256 of
+// (family, raw IR text) to the canonical cache key and the kernel's
+// default name. Identical source text parses to an identical function,
+// so a memo hit may serve the resident artifact without lexing a byte
+// of IR; any miss (including an artifact evicted out from under the
+// memo) falls through to the parse + canonical-key slow path, which
+// still coalesces alpha-equivalent kernels.
+type textEntry struct {
+	key  cache.Key
+	name string // parsed function name, the default response name
+}
+
+// textKey hashes a request's exact source text under its family.
+func textKey(family, src string) cache.Key {
+	h := sha256.New()
+	h.Write([]byte(family))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return cache.Key(hex.EncodeToString(h.Sum(nil)))
+}
+
+// render builds a cachedArtifact, marshaling the wire form eagerly.
+func render(art *pipeline.Artifact) cachedArtifact {
+	raw, err := json.Marshal(artifactJSON(art))
+	if err != nil {
+		// ArtifactJSON is strings and numbers; Marshal cannot fail.
+		panic(fmt.Sprintf("server: marshal artifact: %v", err))
+	}
+	return cachedArtifact{art: art, rendered: raw}
+}
+
+// New builds a Server over one pipeline config per family name. Every
+// config must validate; at least one family is required.
+func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("server: no pipeline configs")
+	}
+	for name, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("server: family %q: %w", name, err)
+		}
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.DefaultFamily == "" && len(configs) == 1 {
+		for name := range configs {
+			opts.DefaultFamily = name
+		}
+	}
+	if opts.DefaultFamily != "" {
+		if _, ok := configs[opts.DefaultFamily]; !ok {
+			return nil, fmt.Errorf("server: default family %q has no config", opts.DefaultFamily)
+		}
+	}
+	s := &Server{
+		opts:    opts,
+		configs: configs,
+		cache:   cache.New[cachedArtifact](opts.CacheEntries),
+		texts:   cache.New[textEntry](opts.CacheEntries),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
+	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
+	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.recovered(s.handleStats))
+	return s, nil
+}
+
+// ServeHTTP dispatches to the service mux (so a Server can be mounted
+// under httptest or a parent mux directly).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background. The bound address is returned so callers can dial it.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.hs = &http.Server{Handler: s}
+	go s.hs.Serve(l)
+	return l.Addr(), nil
+}
+
+// ListenAndServe serves on addr until Shutdown; it blocks like
+// http.Server.ListenAndServe and returns http.ErrServerClosed after a
+// graceful shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.hs = &http.Server{Addr: addr, Handler: s}
+	return s.hs.ListenAndServe()
+}
+
+// Shutdown gracefully drains the server: listeners close immediately,
+// in-flight requests run to completion (bounded by ctx), then Shutdown
+// returns. Safe to call when the server was never started.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// Families lists the configured family names, sorted.
+func (s *Server) Families() []string {
+	out := make([]string, 0, len(s.configs))
+	for name := range s.configs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CacheStats snapshots the artifact cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// recovered wraps a handler with panic isolation: a panic becomes a 500
+// JSON error response instead of a dead connection, the same "one bad
+// kernel never takes down the process" semantics the batch tier gives
+// each worker.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal: %v", rec))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// family resolves a request's family name to its config.
+func (s *Server) family(name string) (string, *pipeline.Config, error) {
+	if name == "" {
+		name = s.opts.DefaultFamily
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("no family requested and no default configured (have %v)", s.Families())
+	}
+	cfg, ok := s.configs[name]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown family %q (have %v)", name, s.Families())
+	}
+	return name, cfg, nil
+}
+
+// deadline derives the compile context for a request: the request's own
+// timeout_ms if positive, else the server default; always nested inside
+// the connection context so client disconnects cancel compiles.
+func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
+	if timeoutMS < 0 {
+		return nil, nil, fmt.Errorf("timeout_ms must be >= 0, got %d", timeoutMS)
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d == 0 {
+		d = s.opts.DefaultTimeout
+	}
+	if d == 0 {
+		return r.Context(), func() {}, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// decode reads a size-limited JSON body into dst, distinguishing
+// oversized bodies (413) from malformed ones (400).
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("request: %w", err)
+	}
+	return 0, nil
+}
+
+// compileKernel runs one kernel through cache + pipeline, maintaining
+// the in-flight gauge and cumulative stage times.
+func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.Func) (cachedArtifact, bool, cache.Key, error) {
+	key := cache.KeyFor(cfg, f)
+	ca, hit, err := s.cache.GetOrCompute(ctx, key, func() (cachedArtifact, error) {
+		if onCompileStart != nil {
+			onCompileStart()
+		}
+		s.kernels.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		art, err := pipeline.Compile(ctx, cfg, f)
+		if err != nil {
+			return cachedArtifact{}, err
+		}
+		s.stageMu.Lock()
+		s.stages.Add(art.Stages)
+		s.stageMu.Unlock()
+		return render(art), nil
+	})
+	return ca, hit, key, err
+}
+
+// compileStatus maps a pipeline/cache error to an HTTP status: expired
+// deadlines are gateway timeouts, cancellations client-closed requests,
+// and everything else (type errors, capacity overflows, placement
+// failures) an unprocessable kernel.
+func compileStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req CompileRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	famName, cfg, err := s.family(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Exact-text fast path: byte-identical source under the same family
+	// keys the same artifact, so a resident entry is served without
+	// parsing. Misses (first sight of this text, or the artifact was
+	// evicted) take the canonical slow path below.
+	tk := textKey(famName, req.IR)
+	if te, ok := s.texts.Peek(tk); ok {
+		if ca, ok := s.cache.Peek(te.key); ok {
+			name := req.Name
+			if name == "" {
+				name = te.name
+			}
+			writeJSON(w, http.StatusOK, compileResponseWire{
+				Name:     name,
+				Family:   famName,
+				Cache:    "hit",
+				Key:      string(te.key),
+				Artifact: ca.rendered,
+			})
+			return
+		}
+	}
+
+	f, err := ir.Parse(req.IR)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
+		return
+	}
+	ctx, cancel, err := s.deadline(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+
+	s.texts.Add(tk, textEntry{key: cache.KeyFor(cfg, f), name: f.Name})
+	ca, hit, key, err := s.compileKernel(ctx, cfg, f)
+	if err != nil {
+		writeError(w, compileStatus(err), err.Error())
+		return
+	}
+	resp := compileResponseWire{
+		Name:     req.Name,
+		Family:   famName,
+		Cache:    cacheStatus(hit),
+		Key:      string(key),
+		Artifact: ca.rendered,
+	}
+	if resp.Name == "" {
+		resp.Name = f.Name
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	famName, cfg, err := s.family(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Kernels) == 0 {
+		writeError(w, http.StatusBadRequest, "batch: no kernels")
+		return
+	}
+	jobs := req.Jobs
+	if jobs == 0 {
+		jobs = s.opts.Jobs
+	}
+	opts := batch.Options{Jobs: jobs, KernelTimeout: time.Duration(req.TimeoutMS) * time.Millisecond}
+	if err := opts.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel, err := s.deadline(r, 0) // overall deadline: server default
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+
+	// Parse every kernel (per-kernel errors never fail the batch), then
+	// split cache hits from misses and dedupe misses by key, so a batch
+	// of N identical kernels compiles once, like N concurrent /compile
+	// calls would.
+	results := make([]batchKernelResultWire, len(req.Kernels))
+	keys := make([]cache.Key, len(req.Kernels))
+	var missJobs []batch.Job
+	missIdx := map[cache.Key]int{} // key -> index into missJobs
+	for i, k := range req.Kernels {
+		name := k.Name
+		f, perr := ir.Parse(k.IR)
+		if perr == nil && name == "" {
+			name = f.Name
+		}
+		results[i] = batchKernelResultWire{Name: name}
+		if perr != nil {
+			results[i].Error = fmt.Sprintf("parse: %v", perr)
+			continue
+		}
+		key := cache.KeyFor(cfg, f)
+		keys[i] = key
+		if ca, ok := s.cache.Get(key); ok {
+			results[i].Cache = "hit"
+			results[i].OK = true
+			results[i].Artifact = ca.rendered
+			continue
+		}
+		results[i].Cache = "miss"
+		if _, queued := missIdx[key]; !queued {
+			missIdx[key] = len(missJobs)
+			missJobs = append(missJobs, batch.Job{Name: name, Func: f})
+		}
+	}
+
+	var stats batch.Stats
+	var batchResults []batch.Result
+	if len(missJobs) > 0 {
+		s.inflight.Add(int64(len(missJobs)))
+		s.kernels.Add(int64(len(missJobs)))
+		batchResults, stats, err = batch.Compile(ctx, cfg, missJobs, opts)
+		s.inflight.Add(-int64(len(missJobs)))
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.stageMu.Lock()
+		s.stages.Add(stats.Stages)
+		s.stageMu.Unlock()
+	}
+
+	succeeded, failed := 0, 0
+	for i := range results {
+		if results[i].Cache == "miss" {
+			br := batchResults[missIdx[keys[i]]]
+			if br.Ok() {
+				ca := render(br.Artifact)
+				s.cache.Add(keys[i], ca)
+				results[i].OK = true
+				results[i].Artifact = ca.rendered
+			} else {
+				results[i].Error = br.Err.Error()
+			}
+		}
+		if results[i].OK {
+			succeeded++
+		} else {
+			failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchResponseWire{
+		Family:  famName,
+		Results: results,
+		Stats: BatchStatsJSON{
+			Kernels:       len(results),
+			Succeeded:     succeeded,
+			Failed:        failed,
+			Compiled:      len(missJobs),
+			WallNS:        stats.Wall.Nanoseconds(),
+			KernelsPerSec: stats.KernelsPerSec,
+		},
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(s.start).Milliseconds(),
+		Families: s.Families(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	s.stageMu.Lock()
+	st := s.stages
+	s.stageMu.Unlock()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Requests:        s.requests.Load(),
+		Kernels:         s.kernels.Load(),
+		InFlightKernels: s.inflight.Load(),
+		UptimeMS:        time.Since(s.start).Milliseconds(),
+		Families:        s.Families(),
+		Cache: CacheStatsJSON{
+			Entries:    cs.Entries,
+			MaxEntries: cs.MaxEntries,
+			Hits:       cs.Hits,
+			Misses:     cs.Misses,
+			Coalesced:  cs.Coalesced,
+			Evictions:  cs.Evictions,
+			Computes:   cs.Computes,
+			InFlight:   cs.InFlight,
+			HitRate:    cs.HitRate(),
+		},
+		Stages: stageJSON(st),
+	})
+}
+
+func cacheStatus(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg, Code: code})
+}

@@ -23,10 +23,12 @@ package reticle
 
 import (
 	"context"
+	"sync"
 
 	"reticle/internal/asm"
 	"reticle/internal/batch"
 	"reticle/internal/behav"
+	"reticle/internal/cache"
 	"reticle/internal/cascade"
 	"reticle/internal/device"
 	"reticle/internal/interp"
@@ -34,6 +36,7 @@ import (
 	"reticle/internal/isel"
 	"reticle/internal/passes"
 	"reticle/internal/pipeline"
+	"reticle/internal/server"
 	"reticle/internal/target/agilex"
 	"reticle/internal/target/ultrascale"
 	"reticle/internal/tdl"
@@ -252,6 +255,95 @@ func CompileBatch(ctx context.Context, fs []*Func, opts BatchOptions) ([]BatchRe
 		return nil, BatchStats{}, err
 	}
 	return c.CompileBatch(ctx, fs, opts)
+}
+
+// Artifact caching and the compile service, re-exported from
+// internal/{cache,server}.
+type (
+	// CompileCache is a bounded in-memory LRU of compiled artifacts,
+	// keyed by content (canonical IR hash + config fingerprint), with
+	// singleflight de-duplication of concurrent identical compiles.
+	CompileCache = cache.Cache[*pipeline.Artifact]
+	// CacheStats snapshots a CompileCache's counters.
+	CacheStats = cache.Stats
+	// Server is the long-running HTTP compile service (POST /compile,
+	// POST /batch, GET /healthz, GET /stats).
+	Server = server.Server
+	// ServerOptions configures a Server (cache size, body limit,
+	// default deadline, worker bound, default family).
+	ServerOptions = server.Options
+)
+
+// NewCompileCache returns an artifact cache bounded to maxEntries
+// (<=0 means the default, cache.DefaultEntries).
+func NewCompileCache(maxEntries int) *CompileCache {
+	return cache.New[*pipeline.Artifact](maxEntries)
+}
+
+// CanonicalHash returns the alpha-normalized content hash of a kernel,
+// the IR half of the artifact cache key.
+func CanonicalHash(f *Func) string { return ir.CanonicalHash(f) }
+
+// CompileCached compiles f through ca: a resident artifact is returned
+// immediately (hit=true), concurrent identical calls share one compile,
+// and a miss runs the full pipeline and populates the cache. The same
+// cache may be shared by compilers with different targets or options —
+// keys include the config fingerprint, so artifacts never cross
+// configs.
+func (c *Compiler) CompileCached(ctx context.Context, ca *CompileCache, f *Func) (*Artifact, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ca.GetOrCompute(ctx, cache.KeyFor(&c.cfg, f), func() (*Artifact, error) {
+		return pipeline.Compile(ctx, &c.cfg, f)
+	})
+}
+
+// defaultCached backs the package-level CompileCached convenience entry
+// point: one UltraScale-like compiler and one default-sized cache,
+// built on first use.
+var defaultCached struct {
+	once sync.Once
+	c    *Compiler
+	ca   *CompileCache
+	err  error
+}
+
+// CompileCached compiles f with the default (UltraScale-like) compiler
+// through a process-wide default cache. See Compiler.CompileCached.
+func CompileCached(ctx context.Context, f *Func) (*Artifact, bool, error) {
+	d := &defaultCached
+	d.once.Do(func() {
+		d.c, d.err = NewCompiler()
+		d.ca = NewCompileCache(0)
+	})
+	if d.err != nil {
+		return nil, false, d.err
+	}
+	return d.c.CompileCached(ctx, d.ca, f)
+}
+
+// NewServer builds the HTTP compile service over both bundled families
+// ("ultrascale" is the default family, "agilex" the second) with the
+// artifact cache in front. Drive it with Server.Start/ListenAndServe
+// and drain it with Server.Shutdown; it also implements http.Handler
+// for embedding. cmd/reticle-serve is the standalone daemon.
+func NewServer(opts ServerOptions) (*Server, error) {
+	us, err := NewCompilerWith(Options{})
+	if err != nil {
+		return nil, err
+	}
+	ag, err := NewCompilerWith(Options{Target: agilex.Target(), Device: agilex.Device()})
+	if err != nil {
+		return nil, err
+	}
+	if opts.DefaultFamily == "" {
+		opts.DefaultFamily = "ultrascale"
+	}
+	return server.New(opts, map[string]*pipeline.Config{
+		"ultrascale": &us.cfg,
+		"agilex":     &ag.cfg,
+	})
 }
 
 // BehavioralVerilog renders the §7 baseline translations: standard

@@ -1,0 +1,89 @@
+#!/usr/bin/env sh
+# service_smoke.sh — end-to-end smoke test of the compile service.
+#
+# Builds and starts reticle-serve on a local port, then drives the real
+# HTTP surface the way a client would: /healthz must answer, the first
+# /compile of a kernel must be a cache miss, the second must be a cache
+# hit with byte-identical Verilog, and SIGTERM must drain cleanly. CI
+# runs this so "the service binary actually serves" is checked per PR,
+# not just the in-process httptest suites.
+#
+# Usage: scripts/service_smoke.sh [port]
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-18080}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "service_smoke: FAIL: $*" >&2
+    [ -f "$tmp/serve.log" ] && sed 's/^/service_smoke: serve: /' "$tmp/serve.log" >&2
+    exit 1
+}
+
+go build -o "$tmp/reticle-serve" ./cmd/reticle-serve
+"$tmp/reticle-serve" -addr "127.0.0.1:$port" >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+# Wait for the listener (bounded).
+i=0
+until curl -fsS "$base/healthz" >"$tmp/health.json" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "server did not come up on $base"
+    kill -0 "$pid" 2>/dev/null || fail "server exited early"
+    sleep 0.2
+done
+grep -q '"status":"ok"' "$tmp/health.json" || fail "healthz: $(cat "$tmp/health.json")"
+grep -q 'ultrascale' "$tmp/health.json" || fail "healthz missing families: $(cat "$tmp/health.json")"
+
+cat >"$tmp/req.json" <<'JSON'
+{"ir": "def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {\n    t0:i8 = mul(a, b) @??;\n    t1:i8 = add(t0, c) @??;\n    y:i8 = reg[0](t1, en) @??;\n}", "family": "ultrascale"}
+JSON
+
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/compile" >"$tmp/first.json" \
+    || fail "first /compile failed"
+curl -fsS -X POST --data-binary @"$tmp/first.json" "$base/compile" >/dev/null 2>&1 \
+    && fail "garbage request accepted" || true
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/compile" >"$tmp/second.json" \
+    || fail "second /compile failed"
+
+extract() { # extract <field> <file> <out>
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[2]))
+field = sys.argv[1]
+if field == "cache":
+    print(doc["cache"])
+else:
+    sys.stdout.write(doc["artifact"][field])
+' "$1" "$2" >"$3"
+}
+
+extract cache "$tmp/first.json" "$tmp/first.cache"
+extract cache "$tmp/second.json" "$tmp/second.cache"
+[ "$(cat "$tmp/first.cache")" = "miss" ] || fail "first compile was '$(cat "$tmp/first.cache")', want miss"
+[ "$(cat "$tmp/second.cache")" = "hit" ] || fail "second compile was '$(cat "$tmp/second.cache")', want hit"
+
+extract verilog "$tmp/first.json" "$tmp/first.v"
+extract verilog "$tmp/second.json" "$tmp/second.v"
+cmp -s "$tmp/first.v" "$tmp/second.v" || fail "hit Verilog differs from miss Verilog"
+[ -s "$tmp/first.v" ] || fail "empty Verilog artifact"
+
+curl -fsS "$base/stats" >"$tmp/stats.json" || fail "/stats failed"
+grep -q '"hits":1' "$tmp/stats.json" || fail "stats did not record the hit: $(cat "$tmp/stats.json")"
+
+# Graceful drain: SIGTERM must exit 0 after closing the listener.
+kill -TERM "$pid"
+wait "$pid" || fail "server did not drain cleanly on SIGTERM"
+pid=""
+
+echo "service_smoke: OK (miss -> hit, identical artifact, clean drain)"
