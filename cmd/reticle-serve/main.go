@@ -6,6 +6,7 @@
 // Usage:
 //
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
+//	              [-max-inflight 0]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
@@ -40,6 +41,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline (0 = none)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
+	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent compile/batch requests before shedding 429s (0 = unlimited)")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
@@ -47,6 +49,7 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		Jobs:           *jobs,
+		MaxInFlight:    *maxInFlight,
 	})
 	if err != nil {
 		log.Fatal("reticle-serve: ", err)

@@ -1,0 +1,119 @@
+package reticle
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"reticle/internal/bench"
+	"reticle/internal/place"
+)
+
+// TestDegradedTensorDot exercises the headline degradation contract on a
+// real workload: tensordot 5x36 with a one-step solver budget compiles
+// on both bundled families, comes back Degraded with a step-budget
+// reason, and the greedy fallback placement passes the satcheck oracle.
+func TestDegradedTensorDot(t *testing.T) {
+	cases := []struct {
+		family string
+		opts   Options
+	}{
+		{"ultrascale", Options{MaxSolverSteps: 1}},
+		{"agilex", Options{Target: Agilex(), Device: AGF014(), MaxSolverSteps: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.family, func(t *testing.T) {
+			f, err := bench.TensorDot(5, 36)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewCompilerWith(tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			art, err := c.Compile(f)
+			if err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if !art.Degraded {
+				t.Fatal("artifact not marked Degraded under MaxSolverSteps: 1")
+			}
+			if !strings.Contains(art.DegradedReason, "step budget") {
+				t.Errorf("DegradedReason = %q, want step-budget mention", art.DegradedReason)
+			}
+			if err := place.Verify(art.Asm, art.Placed, c.Device()); err != nil {
+				t.Errorf("fallback placement fails satcheck: %v", err)
+			}
+			if art.Verilog == "" {
+				t.Error("degraded artifact has no Verilog — codegen must still run")
+			}
+		})
+	}
+}
+
+// TestDegradedNeverCached: a degraded artifact is served to the caller
+// that paid for it but never replayed from cache, so the next identical
+// request re-runs the pipeline.
+func TestDegradedNeverCached(t *testing.T) {
+	f, err := bench.TensorDot(5, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompilerWith(Options{MaxSolverSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := NewCompileCache(8)
+	ctx := context.Background()
+
+	art, hit, err := c.CompileCached(ctx, ca, f)
+	if err != nil {
+		t.Fatalf("first CompileCached: %v", err)
+	}
+	if hit {
+		t.Fatal("first call reported a cache hit")
+	}
+	if !art.Degraded {
+		t.Fatal("first artifact not Degraded")
+	}
+
+	_, hit, err = c.CompileCached(ctx, ca, f)
+	if err != nil {
+		t.Fatalf("second CompileCached: %v", err)
+	}
+	if hit {
+		t.Error("degraded artifact was replayed from cache")
+	}
+	if got := ca.Stats().Computes; got != 2 {
+		t.Errorf("Computes = %d, want 2 (degraded results must not be cached)", got)
+	}
+}
+
+// TestHealthyResultCached is the control: a non-degraded compile of the
+// same kernel caches normally.
+func TestHealthyResultCached(t *testing.T) {
+	f, err := bench.TensorDot(5, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompiler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := NewCompileCache(8)
+	ctx := context.Background()
+	art, _, err := c.CompileCached(ctx, ca, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Degraded {
+		t.Fatal("unbudgeted compile unexpectedly degraded")
+	}
+	_, hit, err := c.CompileCached(ctx, ca, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("healthy artifact missed the cache on the second call")
+	}
+}

@@ -23,9 +23,16 @@ import (
 	"sync"
 	"time"
 
+	"reticle/internal/faults"
 	"reticle/internal/ir"
 	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
 )
+
+// FaultWorker fires inside the worker pool at the top of every per-kernel
+// compile attempt — the seam where transient infrastructure failures
+// (and their retries) land in the chaos suite.
+var FaultWorker = faults.Register("batch/worker", "batch worker, before each per-kernel compile attempt")
 
 // Job is one kernel to compile.
 type Job struct {
@@ -44,7 +51,21 @@ type Options struct {
 	// negative is rejected (ErrInvalidTimeout). Timeouts are observed at
 	// pipeline stage boundaries.
 	KernelTimeout time.Duration
+	// Retries bounds per-kernel retry attempts for transient failures
+	// (rerr.Transient only — permanent and resource-exhausted errors are
+	// never retried, and nothing is retried once the batch context is
+	// done). 0 means DefaultRetries; NoRetries disables retrying; other
+	// negatives are rejected (ErrInvalidRetries). Each retry backs off
+	// with capped exponential delay plus deterministic jitter.
+	Retries int
 }
+
+// DefaultRetries is the transient-failure retry budget applied when
+// Options.Retries is zero.
+const DefaultRetries = 2
+
+// NoRetries as Options.Retries disables transient-failure retrying.
+const NoRetries = -1
 
 // Typed option-validation errors, so callers (e.g. the HTTP compile
 // service) can map bad requests to 400s with errors.Is instead of
@@ -54,6 +75,8 @@ var (
 	ErrInvalidJobs = errors.New("batch: Options.Jobs must be >= 0")
 	// ErrInvalidTimeout reports a negative Options.KernelTimeout.
 	ErrInvalidTimeout = errors.New("batch: Options.KernelTimeout must be >= 0")
+	// ErrInvalidRetries reports an Options.Retries below NoRetries.
+	ErrInvalidRetries = errors.New("batch: Options.Retries must be >= -1")
 )
 
 // Validate checks the options. Zero values are valid defaults (Jobs 0 =
@@ -65,6 +88,9 @@ func (o Options) Validate() error {
 	}
 	if o.KernelTimeout < 0 {
 		return fmt.Errorf("%w (got %s)", ErrInvalidTimeout, o.KernelTimeout)
+	}
+	if o.Retries < NoRetries {
+		return fmt.Errorf("%w (got %d)", ErrInvalidRetries, o.Retries)
 	}
 	return nil
 }
@@ -81,6 +107,9 @@ type Result struct {
 	Err error
 	// Dur is this kernel's wall time inside its worker.
 	Dur time.Duration
+	// Attempts counts compile attempts (1 = no retry was needed). Zero
+	// for kernels the cancelled dispatch loop never handed to a worker.
+	Attempts int
 }
 
 // Ok reports whether the kernel compiled successfully.
@@ -90,6 +119,12 @@ func (r Result) Ok() bool { return r.Err == nil }
 type Stats struct {
 	// Kernels is the batch size; Succeeded + Failed == Kernels.
 	Kernels, Succeeded, Failed int
+	// Degraded counts successful kernels whose artifact carries the
+	// placement-fallback marker (pipeline.Artifact.Degraded).
+	Degraded int
+	// Retried counts extra compile attempts spent recovering from
+	// transient failures across the batch.
+	Retried int
 	// Wall is the end-to-end batch wall time.
 	Wall time.Duration
 	// KernelsPerSec is Kernels divided by Wall.
@@ -123,6 +158,13 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 		workers = len(jobs)
 	}
 
+	retries := opts.Retries
+	if retries == 0 {
+		retries = DefaultRetries
+	} else if retries == NoRetries {
+		retries = 0
+	}
+
 	t0 := time.Now()
 	results := make([]Result, len(jobs))
 	if len(jobs) > 0 {
@@ -133,12 +175,35 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					results[i] = compileOne(ctx, cfg, jobs[i], i, opts.KernelTimeout)
+					results[i] = compileOne(ctx, cfg, jobs[i], i, opts.KernelTimeout, retries)
 				}
 			}()
 		}
+		// The dispatch loop watches the batch context: on cancellation it
+		// stops feeding and marks every not-yet-dispatched kernel with the
+		// typed context error, so results the workers already finished are
+		// flushed to the caller instead of being raced against abandoned
+		// dispatch.
+	feed:
 		for i := range jobs {
-			idx <- i
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				cerr := ctx.Err()
+				for j := i; j < len(jobs); j++ {
+					name := jobs[j].Name
+					if name == "" && jobs[j].Func != nil {
+						name = jobs[j].Func.Name
+					}
+					results[j] = Result{
+						Index: j,
+						Name:  name,
+						Err: rerr.Wrap(rerr.ClassOf(cerr), rerr.CodeOf(cerr),
+							"batch canceled before kernel started", cerr),
+					}
+				}
+				break feed
+			}
 		}
 		close(idx)
 		wg.Wait()
@@ -146,9 +211,15 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 
 	st := Stats{Kernels: len(jobs), Wall: time.Since(t0)}
 	for _, r := range results {
+		if r.Attempts > 1 {
+			st.Retried += r.Attempts - 1
+		}
 		if r.Ok() {
 			st.Succeeded++
 			st.Stages.Add(r.Artifact.Stages)
+			if r.Artifact.Degraded {
+				st.Degraded++
+			}
 		} else {
 			st.Failed++
 		}
@@ -164,8 +235,9 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 var onKernel func(index int, done bool)
 
 // compileOne compiles a single kernel, converting panics to per-kernel
-// errors so a pathological input cannot take down the whole batch.
-func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, timeout time.Duration) (res Result) {
+// errors so a pathological input cannot take down the whole batch, and
+// retrying transient failures with capped exponential backoff.
+func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, timeout time.Duration, retries int) (res Result) {
 	res = Result{Index: index, Name: job.Name}
 	if res.Name == "" && job.Func != nil {
 		res.Name = job.Func.Name
@@ -174,7 +246,9 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 	defer func() {
 		if r := recover(); r != nil {
 			res.Artifact = nil
-			res.Err = fmt.Errorf("batch: kernel %d (%s): panic: %v", index, res.Name, r)
+			res.Err = rerr.Wrap(rerr.Permanent, "internal_panic",
+				"internal panic during compile",
+				fmt.Errorf("batch: kernel %d (%s): panic: %v", index, res.Name, r))
 		}
 		res.Dur = time.Since(t0)
 	}()
@@ -183,15 +257,61 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 		onKernel(index, false)
 	}
 	if job.Func == nil {
-		res.Err = fmt.Errorf("batch: kernel %d: nil function", index)
+		res.Attempts = 1
+		res.Err = rerr.Wrap(rerr.Permanent, "invalid_kernel", "invalid kernel",
+			fmt.Errorf("batch: kernel %d: nil function", index))
 		return res
 	}
+	for attempt := 0; ; attempt++ {
+		res.Attempts = attempt + 1
+		res.Artifact, res.Err = compileAttempt(ctx, cfg, job.Func, timeout)
+		if res.Err == nil {
+			return res
+		}
+		// Retry only genuinely transient failures, and only while the
+		// batch itself is still alive — a cancelled batch must not be
+		// kept warm by its own retry loop.
+		if attempt >= retries || rerr.ClassOf(res.Err) != rerr.Transient || ctx.Err() != nil {
+			return res
+		}
+		select {
+		case <-time.After(retryDelay(index, attempt)):
+		case <-ctx.Done():
+			return res
+		}
+	}
+}
+
+// compileAttempt is one fault-observing compile under the per-kernel
+// timeout.
+func compileAttempt(ctx context.Context, cfg *pipeline.Config, f *ir.Func, timeout time.Duration) (*pipeline.Artifact, error) {
 	kctx := ctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		kctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res.Artifact, res.Err = pipeline.Compile(kctx, cfg, job.Func)
-	return res
+	if err := FaultWorker.Fire(kctx); err != nil {
+		return nil, err
+	}
+	return pipeline.Compile(kctx, cfg, f)
 }
+
+// retryDelay is the capped exponential backoff before retry `attempt`,
+// with deterministic per-kernel jitter (a hash of index and attempt) so
+// colliding retries spread out without making batch runs flaky.
+func retryDelay(index, attempt int) time.Duration {
+	base := baseRetryDelay << uint(attempt)
+	if base > maxRetryDelay {
+		base = maxRetryDelay
+	}
+	h := uint64(index)*0x9E3779B97F4A7C15 + uint64(attempt)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	jitter := time.Duration(h % uint64(base/2+1))
+	return base + jitter
+}
+
+const (
+	baseRetryDelay = 2 * time.Millisecond
+	maxRetryDelay  = 50 * time.Millisecond
+)

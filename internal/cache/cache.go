@@ -25,9 +25,17 @@ import (
 	"fmt"
 	"sync"
 
+	"reticle/internal/faults"
 	"reticle/internal/ir"
 	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
 )
+
+// FaultFill fires on the leader's fill path of GetOrCompute, after the
+// flight is registered but before the compute function runs — the spot
+// where a real compile failure (or crash) would land, so chaos tests can
+// prove waiters are released and errors are never cached.
+var FaultFill = faults.Register("cache/fill", "cache leader fill path, before compute runs")
 
 // Key is a content-addressed cache key; build it with KeyFor.
 type Key string
@@ -220,9 +228,15 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key Key, compute func() (V,
 					short = short[:12] + "…"
 				}
 				var zero V
-				v, e = zero, fmt.Errorf("cache: compute for key %s: panic: %v", short, r)
+				v, e = zero, rerr.Wrap(rerr.Permanent, "internal_panic",
+					"internal panic during compile",
+					fmt.Errorf("cache: compute for key %s: panic: %v", short, r))
 			}
 		}()
+		if ferr := FaultFill.Fire(ctx); ferr != nil {
+			var zero V
+			return zero, ferr
+		}
 		return compute()
 	}()
 
@@ -235,6 +249,22 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key Key, compute func() (V,
 	fl.val, fl.err = val, err
 	close(fl.done)
 	return val, false, err
+}
+
+// Remove drops key from the cache if resident, reporting whether it was.
+// The service tier uses it to evict degraded (fallback-placed) artifacts
+// the compute function published before noticing the degradation: a
+// degraded answer may be served once, but never replayed from cache.
+func (c *Cache[V]) Remove(key Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
 }
 
 // Len returns the number of resident values.

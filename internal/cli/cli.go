@@ -60,7 +60,7 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   reticle compile [-emit ir|asm|place|verilog|stats|timing] [-shrink] [-no-cascade] [-greedy]
-                  [-jobs n] [-timeout d] file.ret [file.ret ...]
+                  [-jobs n] [-timeout d] [-max-steps n] [-solver-timeout d] file.ret [file.ret ...]
   reticle interp  [-cycles n] [-set name=v1,v2,...]... [-vcd file] file.ret
   reticle expand  file.rasm
   reticle behav   [-hint] file.ret
@@ -96,6 +96,8 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 	greedy := fs.Bool("greedy", false, "greedy (maximal munch) instruction selection")
 	jobs := fs.Int("jobs", 1, "compile files concurrently with this many workers")
 	timeout := fs.Duration("timeout", 0, "per-file compile timeout (0 = none)")
+	maxSteps := fs.Int("max-steps", 0, "placement solver step budget; past it, degrade to greedy fallback (0 = default)")
+	solverTimeout := fs.Duration("solver-timeout", 0, "placement solver time budget; past it, degrade to greedy fallback (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,9 +107,11 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("unknown -emit %q", *emit)
 	}
 	c, err := reticle.NewCompilerWith(reticle.Options{
-		Shrink:    *shrink,
-		NoCascade: *noCascade,
-		Greedy:    *greedy,
+		Shrink:         *shrink,
+		NoCascade:      *noCascade,
+		Greedy:         *greedy,
+		MaxSolverSteps: *maxSteps,
+		SolverTimeout:  *solverTimeout,
 	})
 	if err != nil {
 		return err
@@ -123,6 +127,9 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 		art, err := c.CompileString(src)
 		if err != nil {
 			return err
+		}
+		if art.Degraded {
+			fmt.Fprintf(os.Stderr, "reticle: warning: degraded placement (%s)\n", art.DegradedReason)
 		}
 		return emitArtifact(stdout, *emit, art)
 	}
@@ -163,6 +170,9 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 			failed++
 			fmt.Fprintf(stdout, "error: %v\n", results[i].Err)
 		default:
+			if results[i].Artifact.Degraded {
+				fmt.Fprintf(stdout, "warning: degraded placement (%s)\n", results[i].Artifact.DegradedReason)
+			}
 			if err := emitArtifact(stdout, *emit, results[i].Artifact); err != nil {
 				return err
 			}

@@ -37,7 +37,16 @@ type Problem struct {
 
 	steps    int
 	maxSteps int
+	// interrupt, when set, is polled every interruptStride steps; a true
+	// return aborts the search with *ErrInterrupted.
+	interrupt   func() bool
+	interrupted bool
 }
+
+// interruptStride is how many search steps pass between interrupt polls:
+// frequent enough that a deadline aborts within microseconds, rare
+// enough that the poll never shows up in solver profiles.
+const interruptStride = 1024
 
 // NewVar adds a variable with the given domain (copied). Domains keep
 // their given order; the solver tries values in that order, so callers
@@ -71,6 +80,12 @@ func (p *Problem) AddAllDifferent(vars []Var) {
 // Zero means the default of 2 million.
 func (p *Problem) SetMaxSteps(n int) { p.maxSteps = n }
 
+// SetInterrupt installs a poll called every ~1k search steps; returning
+// true aborts Solve with *ErrInterrupted. Placement uses it to observe
+// per-stage deadlines mid-solve instead of burning the full step budget
+// after the caller has already given up.
+func (p *Problem) SetInterrupt(check func() bool) { p.interrupt = check }
+
 // Steps reports how many assignments the last Solve attempted.
 func (p *Problem) Steps() int { return p.steps }
 
@@ -86,6 +101,15 @@ func (e *ErrLimit) Error() string {
 	return fmt.Sprintf("csp: step limit reached after %d steps", e.Steps)
 }
 
+// ErrInterrupted is returned when the interrupt poll aborted the search
+// (deadline expiry, soft time budget). Like *ErrLimit it says nothing
+// about satisfiability — callers may fall back to a cheaper engine.
+type ErrInterrupted struct{ Steps int }
+
+func (e *ErrInterrupted) Error() string {
+	return fmt.Sprintf("csp: search interrupted after %d steps", e.Steps)
+}
+
 // Solve finds an assignment satisfying all constraints, or fails with
 // *ErrUnsat / *ErrLimit. The search is deterministic.
 func (p *Problem) Solve() ([]int, error) {
@@ -93,6 +117,7 @@ func (p *Problem) Solve() ([]int, error) {
 		p.maxSteps = 2_000_000
 	}
 	p.steps = 0
+	p.interrupted = false
 	// Empty domains are unsatisfiable before search starts.
 	for i, d := range p.domains {
 		if d.size == 0 {
@@ -104,6 +129,9 @@ func (p *Problem) Solve() ([]int, error) {
 	var trail []trailEntry
 	if p.search(assign, assigned, &trail) {
 		return assign, nil
+	}
+	if p.interrupted {
+		return nil, &ErrInterrupted{Steps: p.steps}
 	}
 	if p.steps >= p.maxSteps {
 		return nil, &ErrLimit{Steps: p.steps}
@@ -128,10 +156,14 @@ func (p *Problem) search(assign []int, assigned []bool, trail *[]trailEntry) boo
 	sort.Ints(vals) // deterministic low-first packing regardless of pruning order
 
 	for _, val := range vals {
-		if p.steps >= p.maxSteps {
+		if p.steps >= p.maxSteps || p.interrupted {
 			return false
 		}
 		p.steps++
+		if p.interrupt != nil && p.steps%interruptStride == 0 && p.interrupt() {
+			p.interrupted = true
+			return false
+		}
 		if !d.has(val) {
 			continue
 		}

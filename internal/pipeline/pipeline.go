@@ -21,13 +21,27 @@ import (
 	"reticle/internal/cascade"
 	"reticle/internal/codegen"
 	"reticle/internal/device"
+	"reticle/internal/faults"
 	"reticle/internal/ir"
 	"reticle/internal/isel"
 	"reticle/internal/place"
 	"reticle/internal/refine"
+	"reticle/internal/rerr"
 	"reticle/internal/tdl"
 	"reticle/internal/timing"
 	"reticle/internal/verilog"
+)
+
+// Fault points at every stage boundary. Armed through a context (chaos
+// suites) or RETICLE_FAULTS (smoke tooling), each simulates the stage
+// failing after its input was valid — the sweep asserts the error comes
+// back typed, never as a panic or hang. See internal/faults.
+var (
+	FaultSelect  = faults.Register("pipeline/select", "instruction selection stage fails")
+	FaultCascade = faults.Register("pipeline/cascade", "layout optimization stage fails")
+	FaultPlace   = faults.Register("pipeline/place", "placement stage fails")
+	FaultCodegen = faults.Register("pipeline/codegen", "code generation stage fails")
+	FaultTiming  = faults.Register("pipeline/timing", "timing analysis stage fails")
 )
 
 // Config carries the shared, read-only state of one compilation target.
@@ -52,6 +66,17 @@ type Config struct {
 	Greedy bool
 	// TimingDriven enables post-placement timing refinement.
 	TimingDriven bool
+
+	// MaxSolverSteps bounds each placement solver invocation; 0 means
+	// the csp default (2M steps). Exhausting it does not fail the
+	// kernel: placement degrades to the greedy first-fit fallback and
+	// the artifact is marked Degraded.
+	MaxSolverSteps int
+	// SolverTimeout is a soft per-placement time budget with the same
+	// degradation semantics; 0 means none. Excluded from Fingerprint:
+	// it cannot change a non-degraded artifact, and degraded artifacts
+	// are never cached (see internal/server, reticle.CompileCached).
+	SolverTimeout time.Duration
 }
 
 // Validate reports whether the config is complete enough to compile.
@@ -94,8 +119,16 @@ func (cfg *Config) Fingerprint() string {
 	if cfg.Device != nil {
 		dev = cfg.Device.Name
 	}
-	return fmt.Sprintf("target=%s;device=%s;nocascade=%t;shrink=%t;greedy=%t;timingdriven=%t",
+	fp := fmt.Sprintf("target=%s;device=%s;nocascade=%t;shrink=%t;greedy=%t;timingdriven=%t",
 		target, dev, cfg.NoCascade, cfg.Shrink, cfg.Greedy, cfg.TimingDriven)
+	// A non-default solver step budget changes which kernels degrade to
+	// the greedy fallback, so it is part of the key — but appended only
+	// when set, keeping every already-deployed key (golden-pinned)
+	// byte-identical for default configs.
+	if cfg.MaxSolverSteps != 0 {
+		fp += fmt.Sprintf(";maxsteps=%d", cfg.MaxSolverSteps)
+	}
+	return fp
 }
 
 // StageTimes breaks a compilation into per-stage wall time.
@@ -145,17 +178,42 @@ type Artifact struct {
 	CascadeChains int
 	// SolverSteps counts placement search steps.
 	SolverSteps int
+
+	// Degraded reports that placement fell back to the greedy first-fit
+	// placer after the CSP solver exhausted its step or time budget.
+	// The placement is valid (checked by place.Verify) but unoptimized;
+	// DegradedReason says which budget ran out. Degraded artifacts are
+	// served, surfaced through batch stats and the service response,
+	// and never cached.
+	Degraded bool
+	// DegradedReason is the degradation cause, empty when !Degraded.
+	DegradedReason string
 }
 
 // checkCtx turns a cancelled or expired context into a stage-labelled
-// error. Cancellation is observed at stage boundaries: a kernel already
-// inside the placement solver finishes (or hits the solver step limit)
-// before noticing.
+// typed error: deadline expiry classifies resource-exhausted, caller
+// cancellation transient (errors.Is still matches the context sentinel
+// through the wrap). Cancellation is observed at stage boundaries and —
+// since the solver polls the context mid-search — inside placement.
 func checkCtx(ctx context.Context, stage string) error {
-	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("pipeline: %s: %w", stage, err)
+	err := ctx.Err()
+	if err == nil {
+		return nil
 	}
-	return nil
+	msg := "compile canceled during " + stage
+	if err == context.DeadlineExceeded {
+		msg = "compile deadline exceeded during " + stage
+	}
+	return rerr.Wrap(rerr.ClassOf(err), rerr.CodeOf(err), msg, err)
+}
+
+// stageBoundary gates one stage: a dead context or an armed fault point
+// stops the compile with a typed error before the stage runs.
+func stageBoundary(ctx context.Context, stage string, fp faults.Point) error {
+	if err := checkCtx(ctx, stage); err != nil {
+		return err
+	}
+	return fp.Fire(ctx)
 }
 
 // Compile runs the full pipeline on one IR function. It never mutates f,
@@ -173,19 +231,19 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 
 	var stages StageTimes
 	t0 := time.Now()
-	if err := checkCtx(ctx, "selection"); err != nil {
+	if err := stageBoundary(ctx, "selection", FaultSelect); err != nil {
 		return nil, err
 	}
 	af, err := isel.SelectWithLibrary(f, cfg.Lib, isel.Options{Greedy: cfg.Greedy})
 	if err != nil {
-		return nil, fmt.Errorf("reticle: selection: %w", err)
+		return nil, rerr.Wrap(rerr.Permanent, "select_failed", "instruction selection failed", err)
 	}
 	stages.Select = time.Since(t0)
 
 	chains := 0
 	tc := time.Now()
 	if !cfg.NoCascade && len(cfg.Cascades) > 0 {
-		if err := checkCtx(ctx, "layout optimization"); err != nil {
+		if err := stageBoundary(ctx, "layout optimization", FaultCascade); err != nil {
 			return nil, err
 		}
 		opt, st, err := cascade.Apply(af, cfg.Target, cascade.Options{
@@ -194,74 +252,86 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 			MaxChain: cfg.Device.Height,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("reticle: layout optimization: %w", err)
+			return nil, rerr.Wrap(rerr.Permanent, "cascade_failed", "layout optimization failed", err)
 		}
 		af = opt
 		chains = st.Chains
 	}
 	stages.Cascade = time.Since(tc)
 
-	if err := checkCtx(ctx, "placement"); err != nil {
+	if err := stageBoundary(ctx, "placement", FaultPlace); err != nil {
 		return nil, err
 	}
 	tp := time.Now()
+	popts := place.Options{
+		Shrink:        cfg.Shrink,
+		MaxSteps:      cfg.MaxSolverSteps,
+		SolverTimeout: cfg.SolverTimeout,
+	}
 	var placedFn *asm.Func
 	var solverSteps int
+	degraded := false
+	degradedReason := ""
 	if cfg.TimingDriven {
-		ref, err := refine.Place(af, cfg.Target, cfg.Device, refine.Options{
-			Place: place.Options{Shrink: cfg.Shrink},
-		})
+		ref, err := refine.PlaceContext(ctx, af, cfg.Target, cfg.Device, refine.Options{Place: popts})
 		if err != nil {
+			// Placement errors arrive typed from place.PlaceContext
+			// (capacity exhausted, unsat permanent, deadline); keep the
+			// classification, just add the stage label.
 			return nil, fmt.Errorf("reticle: placement: %w", err)
 		}
 		placedFn = ref.Placed
+		degraded, degradedReason = ref.Degraded, ref.DegradedReason
 	} else {
-		placed, err := place.Place(af, cfg.Device, place.Options{Shrink: cfg.Shrink})
+		placed, err := place.PlaceContext(ctx, af, cfg.Device, popts)
 		if err != nil {
 			return nil, fmt.Errorf("reticle: placement: %w", err)
 		}
 		placedFn = placed.Fn
 		solverSteps = placed.SolverSteps
+		degraded, degradedReason = placed.Degraded, placed.DegradedReason
 	}
 	stages.Place = time.Since(tp)
 
-	if err := checkCtx(ctx, "code generation"); err != nil {
+	if err := stageBoundary(ctx, "code generation", FaultCodegen); err != nil {
 		return nil, err
 	}
 	tg := time.Now()
 	mod, stats, err := codegen.Generate(placedFn, cfg.Target)
 	if err != nil {
-		return nil, fmt.Errorf("reticle: code generation: %w", err)
+		return nil, rerr.Wrap(rerr.Permanent, "codegen_failed", "code generation failed", err)
 	}
 	stages.Codegen = time.Since(tg)
 	dur := time.Since(t0)
 
-	if err := checkCtx(ctx, "timing analysis"); err != nil {
+	if err := stageBoundary(ctx, "timing analysis", FaultTiming); err != nil {
 		return nil, err
 	}
 	tt := time.Now()
 	rep, err := timing.Analyze(placedFn, cfg.Target, cfg.Device, timing.DefaultOptions())
 	if err != nil {
-		return nil, fmt.Errorf("reticle: timing: %w", err)
+		return nil, rerr.Wrap(rerr.Permanent, "timing_failed", "timing analysis failed", err)
 	}
 	stages.Timing = time.Since(tt)
 
 	return &Artifact{
-		CriticalPath:  rep.Path,
-		IR:            f,
-		Asm:           af,
-		Placed:        placedFn,
-		Module:        mod,
-		Verilog:       mod.String(),
-		LUTs:          stats.Luts,
-		DSPs:          stats.Dsps,
-		FFs:           stats.FFs,
-		Carries:       stats.Carries,
-		CriticalNs:    rep.CriticalNs,
-		FMaxMHz:       rep.FMaxMHz,
-		CompileDur:    dur,
-		Stages:        stages,
-		CascadeChains: chains,
-		SolverSteps:   solverSteps,
+		CriticalPath:   rep.Path,
+		IR:             f,
+		Asm:            af,
+		Placed:         placedFn,
+		Module:         mod,
+		Verilog:        mod.String(),
+		LUTs:           stats.Luts,
+		DSPs:           stats.Dsps,
+		FFs:            stats.FFs,
+		Carries:        stats.Carries,
+		CriticalNs:     rep.CriticalNs,
+		FMaxMHz:        rep.FMaxMHz,
+		CompileDur:     dur,
+		Stages:         stages,
+		CascadeChains:  chains,
+		SolverSteps:    solverSteps,
+		Degraded:       degraded,
+		DegradedReason: degradedReason,
 	}, nil
 }

@@ -20,14 +20,26 @@
 package place
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"reticle/internal/asm"
 	"reticle/internal/csp"
 	"reticle/internal/device"
+	"reticle/internal/faults"
 	"reticle/internal/ir"
+	"reticle/internal/rerr"
 )
+
+// FaultSolverBudget, when armed, simulates the CSP solver exhausting its
+// step budget on the first solve, forcing the greedy fallback path. The
+// chaos sweep uses it to assert degradation (a valid, Degraded-marked
+// placement) rather than failure.
+var FaultSolverBudget = faults.Register("place/solver-budget",
+	"CSP placement solver exhausts its step budget; greedy fallback must engage")
 
 // Slot is a resolved location: a concrete slice of a primitive kind.
 type Slot struct {
@@ -47,6 +59,12 @@ type Result struct {
 	ShrinkIters int
 	// MaxX and MaxY record the final per-primitive bounding box.
 	MaxX, MaxY map[ir.Resource]int
+	// Degraded reports that the CSP solver exhausted its step or time
+	// budget and the placement came from the greedy first-fit fallback:
+	// valid (checked by Verify) but unoptimized.
+	Degraded bool
+	// DegradedReason says which budget ran out, for stats and responses.
+	DegradedReason string
 }
 
 // Options configures placement.
@@ -55,6 +73,16 @@ type Options struct {
 	Shrink bool
 	// MaxSteps bounds each solver invocation; 0 means the csp default.
 	MaxSteps int
+	// SolverTimeout is a soft per-placement time budget: when the CSP
+	// search runs past it, the solver is interrupted and the greedy
+	// fallback produces a valid but unoptimized placement (Degraded).
+	// 0 means no time budget. This is independent of the context
+	// deadline, which fails the kernel rather than degrading it.
+	SolverTimeout time.Duration
+	// NoFallback disables graceful degradation: budget exhaustion is
+	// returned as a typed resource-exhausted error instead of engaging
+	// the greedy placer.
+	NoFallback bool
 }
 
 // member is one instruction within a placement cluster.
@@ -83,9 +111,25 @@ func (c *cluster) singleton() bool { return len(c.members) == 1 }
 // without mutating them (the result holds a placed clone of f) and keeps
 // all solver state per call. The batch compiler leans on both properties.
 func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
+	return PlaceContext(context.Background(), f, dev, opts)
+}
+
+// PlaceContext is Place under a context, with graceful degradation: when
+// the CSP solver exhausts its step budget (Options.MaxSteps) or soft
+// time budget (Options.SolverTimeout), the greedy first-fit fallback
+// produces a valid but unoptimized placement, verified by Verify and
+// marked Degraded, instead of failing the kernel. A dead context aborts
+// the solve promptly (the solver polls it mid-search) and fails with the
+// context's typed classification — degrading would be pointless when the
+// caller has already gone away.
+func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	clusters, err := buildClusters(f)
 	if err != nil {
-		return nil, err
+		return nil, rerr.Wrap(rerr.Permanent, "placement_invalid",
+			"placement constraints invalid", err)
 	}
 
 	// Capacity pre-check.
@@ -95,8 +139,9 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 	}
 	for prim, n := range counts {
 		if cap := dev.Capacity(prim); n > cap {
-			return nil, fmt.Errorf("place: %d %s instructions exceed device capacity %d",
-				n, prim, cap)
+			return nil, rerr.Wrap(rerr.Exhausted, "device_capacity",
+				"device capacity exceeded",
+				fmt.Errorf("place: %d %s instructions exceed device capacity %d", n, prim, cap))
 		}
 	}
 
@@ -104,11 +149,48 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 		ir.ResLut: {dev.NumCols(ir.ResLut), dev.Height},
 		ir.ResDsp: {dev.NumCols(ir.ResDsp), dev.Height},
 	}
-	sol, steps, err := solve(clusters, dev, full, opts.MaxSteps)
-	if err != nil {
-		return nil, fmt.Errorf("place: %w", err)
+
+	// The solver polls interrupt mid-search: a dead context or an
+	// exceeded soft time budget aborts within ~1k steps instead of
+	// draining the full step budget first.
+	var softDeadline time.Time
+	if opts.SolverTimeout > 0 {
+		softDeadline = time.Now().Add(opts.SolverTimeout)
 	}
+	interrupt := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		return !softDeadline.IsZero() && time.Now().After(softDeadline)
+	}
+
+	if ferr := FaultSolverBudget.Fire(ctx); ferr != nil {
+		return degradeOrFail(f, dev, clusters, full, opts,
+			"injected solver budget exhaustion", ferr)
+	}
+
+	sol, steps, err := solve(clusters, dev, full, opts.MaxSteps, interrupt)
 	totalSteps := steps
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, rerr.Wrap(rerr.ClassOf(cerr), rerr.CodeOf(cerr),
+				"placement aborted", cerr)
+		}
+		var limit *csp.ErrLimit
+		var intr *csp.ErrInterrupted
+		switch {
+		case errors.As(err, &limit):
+			return degradeOrFail(f, dev, clusters, full, opts,
+				fmt.Sprintf("solver step budget exhausted after %d steps", limit.Steps), err)
+		case errors.As(err, &intr):
+			return degradeOrFail(f, dev, clusters, full, opts,
+				fmt.Sprintf("solver time budget %s exhausted after %d steps",
+					opts.SolverTimeout, intr.Steps), err)
+		default:
+			return nil, rerr.Wrap(rerr.Permanent, "placement_unsat",
+				"no feasible placement", err)
+		}
+	}
 	shrinkIters := 0
 	bounds := full
 
@@ -120,8 +202,9 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 		if probeSteps == 0 {
 			probeSteps = 100_000
 		}
+		interrupted := false
 		for _, prim := range []ir.Resource{ir.ResDsp, ir.ResLut} {
-			if counts[prim] == 0 {
+			if counts[prim] == 0 || interrupted {
 				continue
 			}
 			for _, axis := range []int{1, 0} { // rows first, then columns
@@ -134,9 +217,17 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 					b := probe[prim]
 					b[axis] = mid
 					probe[prim] = b
-					s2, st, err := solve(clusters, dev, probe, probeSteps)
+					s2, st, err := solve(clusters, dev, probe, probeSteps, interrupt)
 					totalSteps += st
 					shrinkIters++
+					var intr *csp.ErrInterrupted
+					if errors.As(err, &intr) {
+						// Time budget or context expired mid-probe: the base
+						// solution is already valid, so stop compacting and
+						// keep what we have — shrinking is best-effort.
+						interrupted = true
+						break
+					}
 					if err == nil {
 						sol = s2
 						best = mid
@@ -147,19 +238,28 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 				b := bounds[prim]
 				b[axis] = best
 				bounds[prim] = b
+				if interrupted {
+					break
+				}
 			}
 		}
 	}
 
-	// Write back.
+	res := writeBack(f, dev, clusters, sol)
+	res.SolverSteps = totalSteps
+	res.ShrinkIters = shrinkIters
+	return res, nil
+}
+
+// writeBack clones f and resolves every member location from the solved
+// anchor slice ids.
+func writeBack(f *asm.Func, dev *device.Device, clusters []*cluster, sol []int) *Result {
 	out := f.Clone()
 	res := &Result{
-		Fn:          out,
-		Slots:       make(map[string]Slot),
-		SolverSteps: totalSteps,
-		ShrinkIters: shrinkIters,
-		MaxX:        map[ir.Resource]int{},
-		MaxY:        map[ir.Resource]int{},
+		Fn:    out,
+		Slots: make(map[string]Slot),
+		MaxX:  map[ir.Resource]int{},
+		MaxY:  map[ir.Resource]int{},
 	}
 	for ci, c := range clusters {
 		ax, ay := dev.SliceCoords(sol[ci])
@@ -179,7 +279,7 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 			}
 		}
 	}
-	return res, nil
+	return res
 }
 
 // buildClusters groups instructions by shared coordinate variables
@@ -330,11 +430,15 @@ func makeCluster(group []placeInfo) (*cluster, error) {
 }
 
 // solve runs one CSP over the given per-primitive bounds, returning the
-// anchor slice id chosen for each cluster.
-func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int) ([]int, int, error) {
+// anchor slice id chosen for each cluster. interrupt (nil = never) is
+// polled mid-search so deadlines abort long solves promptly.
+func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int, interrupt func() bool) ([]int, int, error) {
 	var p csp.Problem
 	if maxSteps > 0 {
 		p.SetMaxSteps(maxSteps)
+	}
+	if interrupt != nil {
+		p.SetInterrupt(interrupt)
 	}
 	vars := make([]csp.Var, len(clusters))
 	singles := map[ir.Resource][]csp.Var{}

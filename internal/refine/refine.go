@@ -12,6 +12,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 
 	"reticle/internal/asm"
@@ -44,10 +45,22 @@ type Result struct {
 	AfterNs  float64
 	// Moves counts accepted relocations.
 	Moves int
+	// Degraded and DegradedReason propagate the placement stage's
+	// greedy-fallback marker (see place.Result).
+	Degraded       bool
+	DegradedReason string
 }
 
 // Place runs solver placement followed by timing-driven refinement.
 func Place(f *asm.Func, target *tdl.Target, dev *device.Device, opts Options) (*Result, error) {
+	return PlaceContext(context.Background(), f, target, dev, opts)
+}
+
+// PlaceContext is Place under a context: the placement solve observes
+// cancellation mid-search, and budget exhaustion degrades to the greedy
+// fallback (still refined afterwards — refinement only needs a valid
+// starting point).
+func PlaceContext(ctx context.Context, f *asm.Func, target *tdl.Target, dev *device.Device, opts Options) (*Result, error) {
 	if opts.MaxIters == 0 {
 		opts.MaxIters = 20
 	}
@@ -57,7 +70,7 @@ func Place(f *asm.Func, target *tdl.Target, dev *device.Device, opts Options) (*
 	if opts.Timing.UnitNs == 0 {
 		opts.Timing = timing.DefaultOptions()
 	}
-	res, err := place.Place(f, dev, opts.Place)
+	res, err := place.PlaceContext(ctx, f, dev, opts.Place)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +109,10 @@ func Place(f *asm.Func, target *tdl.Target, dev *device.Device, opts Options) (*
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Placed: cur, BeforeNs: rep.CriticalNs, AfterNs: rep.CriticalNs}
+	out := &Result{
+		Placed: cur, BeforeNs: rep.CriticalNs, AfterNs: rep.CriticalNs,
+		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
+	}
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
 		improved := false

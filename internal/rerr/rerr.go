@@ -1,0 +1,203 @@
+// Package rerr is the typed error taxonomy shared by every tier of the
+// compile pipeline and the HTTP service. Each failure is classified into
+// one of three retry semantics:
+//
+//   - Transient: the operation may succeed if simply retried (a worker
+//     hiccup, a cancelled upstream, injected chaos). The batch tier
+//     retries these with capped exponential backoff; the HTTP tier maps
+//     them to 503 + Retry-After.
+//   - Permanent: retrying cannot help (type errors, unsatisfiable
+//     placements, malformed kernels). Mapped to 4xx without Retry-After.
+//   - Exhausted: a budget or resource ran out (request deadline, solver
+//     step budget, device capacity, admission control). Some exhausted
+//     failures degrade instead of failing — see place's greedy fallback.
+//
+// Classification travels with errors.Is/errors.As so every layer can
+// decide policy without string matching:
+//
+//	if errors.Is(err, rerr.ErrTransient) { retry() }
+//
+// Wire safety: an *Error carries a stable, client-safe Msg and Code next
+// to the wrapped internal cause. The HTTP tier renders Message/CodeOf
+// only, so fmt.Errorf chains (and anything mentioning internal/ paths)
+// never leak into response bodies.
+package rerr
+
+import (
+	"context"
+	"errors"
+	"strings"
+)
+
+// Class is the retry semantics of a failure.
+type Class int
+
+const (
+	// Unknown is the zero class: unclassified errors are treated as
+	// permanent by policy layers (never retried, never degraded).
+	Unknown Class = iota
+	// Transient failures may succeed on retry.
+	Transient
+	// Permanent failures will not succeed on retry.
+	Permanent
+	// Exhausted failures ran out of a budget or resource.
+	Exhausted
+)
+
+// String renders the class as its stable wire name.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	case Exhausted:
+		return "resource-exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// classMarker is a sentinel matched by Error.Is, so callers can write
+// errors.Is(err, rerr.ErrTransient) regardless of wrapping depth.
+type classMarker struct{ class Class }
+
+func (m *classMarker) Error() string { return "rerr: class " + m.class.String() }
+
+// Class sentinels for errors.Is.
+var (
+	// ErrTransient matches any error classified Transient.
+	ErrTransient error = &classMarker{Transient}
+	// ErrPermanent matches any error classified Permanent.
+	ErrPermanent error = &classMarker{Permanent}
+	// ErrExhausted matches any error classified Exhausted.
+	ErrExhausted error = &classMarker{Exhausted}
+)
+
+// Error is a classified failure: a stable machine-readable Code, a stable
+// client-safe Msg, and the wrapped internal cause.
+type Error struct {
+	// Class is the retry semantics.
+	Class Class
+	// Code is a stable machine-readable identifier ("deadline_exceeded",
+	// "placement_unsat", "admission_rejected", ...). It is part of the
+	// service wire contract; never reword an existing code.
+	Code string
+	// Msg is the stable human-readable message, safe to emit to clients.
+	Msg string
+	// Err is the wrapped cause; internal detail, not for the wire.
+	Err error
+}
+
+// Error renders the full chain (internal use: logs, test output).
+func (e *Error) Error() string {
+	if e.Err == nil {
+		return e.Msg
+	}
+	return e.Msg + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the class sentinels (ErrTransient/ErrPermanent/ErrExhausted)
+// in addition to regular identity matching via Unwrap.
+func (e *Error) Is(target error) bool {
+	if m, ok := target.(*classMarker); ok {
+		return e.Class == m.class
+	}
+	return false
+}
+
+// New builds a classified error with no cause.
+func New(class Class, code, msg string) *Error {
+	return &Error{Class: class, Code: code, Msg: msg}
+}
+
+// Wrap classifies err under a stable code and client-safe message. It
+// returns nil when err is nil, so call sites can wrap unconditionally.
+// The cause remains reachable through errors.Is/As.
+func Wrap(class Class, code, msg string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Class: class, Code: code, Msg: msg, Err: err}
+}
+
+// ClassOf reports the classification of err: the outermost *Error's
+// class, or the conventional classification of context errors (deadline
+// expiry is an exhausted budget, cancellation is transient — the caller
+// went away, the kernel itself is fine). Everything else is Unknown.
+func ClassOf(err error) Class {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Class
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return Exhausted
+	case errors.Is(err, context.Canceled):
+		return Transient
+	}
+	return Unknown
+}
+
+// CodeOf reports the outermost stable code, falling back to conventional
+// codes for bare context errors and "internal" for unclassified errors.
+func CodeOf(err error) string {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Code
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return "internal"
+}
+
+// unsafeFragments are substrings that mark an error message as internal
+// detail: file paths, panic traces, source locations. Message stops
+// descending a cause chain at the first message containing one.
+var unsafeFragments = []string{"internal/", ".go:", "goroutine "}
+
+func safeFragment(s string) bool {
+	for _, frag := range unsafeFragments {
+		if strings.Contains(s, frag) {
+			return false
+		}
+	}
+	return true
+}
+
+// Message renders the client-safe message chain: the stable Msg of every
+// *Error layer, and — at the innermost untyped cause — its Error() text
+// only if it carries no internal markers (paths, panic traces). Untyped
+// wrappers in the middle of a chain are skipped (their text repeats the
+// whole chain below them). The result is what the HTTP tier puts on the
+// wire; it never contains an internal/ path.
+func Message(err error) string {
+	var parts []string
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			parts = append(parts, e.Msg)
+			err = e.Err
+			continue
+		}
+		inner := errors.Unwrap(err)
+		if inner == nil {
+			// Untyped tail: include its text only when provably safe.
+			if s := err.Error(); safeFragment(s) {
+				parts = append(parts, s)
+			}
+			break
+		}
+		err = inner
+	}
+	if len(parts) == 0 {
+		return "internal error"
+	}
+	return strings.Join(parts, ": ")
+}

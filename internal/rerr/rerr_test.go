@@ -1,0 +1,112 @@
+package rerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestClassSentinels(t *testing.T) {
+	base := errors.New("solver gave up")
+	err := Wrap(Transient, "worker_fault", "worker failed", base)
+	if !errors.Is(err, ErrTransient) {
+		t.Error("transient error does not match ErrTransient")
+	}
+	if errors.Is(err, ErrPermanent) || errors.Is(err, ErrExhausted) {
+		t.Error("transient error matches a foreign class sentinel")
+	}
+	if !errors.Is(err, base) {
+		t.Error("wrapping broke the cause chain")
+	}
+
+	// Sentinels keep matching through additional fmt wrapping.
+	deep := fmt.Errorf("kernel 3: %w", err)
+	if !errors.Is(deep, ErrTransient) {
+		t.Error("fmt.Errorf wrapping broke class matching")
+	}
+	var e *Error
+	if !errors.As(deep, &e) || e.Code != "worker_fault" {
+		t.Errorf("errors.As lost the typed layer: %+v", e)
+	}
+}
+
+func TestClassOfAndCodeOf(t *testing.T) {
+	cases := []struct {
+		err   error
+		class Class
+		code  string
+	}{
+		{New(Permanent, "placement_unsat", "no feasible placement"), Permanent, "placement_unsat"},
+		{context.DeadlineExceeded, Exhausted, "deadline_exceeded"},
+		{context.Canceled, Transient, "canceled"},
+		{fmt.Errorf("wrapped: %w", context.DeadlineExceeded), Exhausted, "deadline_exceeded"},
+		{errors.New("mystery"), Unknown, "internal"},
+		{Wrap(Exhausted, "solver_budget", "budget", errors.New("x")), Exhausted, "solver_budget"},
+	}
+	for i, tc := range cases {
+		if got := ClassOf(tc.err); got != tc.class {
+			t.Errorf("case %d: ClassOf = %v, want %v", i, got, tc.class)
+		}
+		if got := CodeOf(tc.err); got != tc.code {
+			t.Errorf("case %d: CodeOf = %q, want %q", i, got, tc.code)
+		}
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(Transient, "c", "m", nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+}
+
+// TestMessageSanitizes pins the wire-safety contract: Message never
+// includes internal paths, source locations, or panic traces, while
+// keeping safe diagnostic tails.
+func TestMessageSanitizes(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{
+			"typed chain with safe tail",
+			Wrap(Permanent, "select_failed", "instruction selection failed",
+				errors.New("no pattern covers mul i64<64>")),
+			"instruction selection failed: no pattern covers mul i64<64>",
+		},
+		{
+			"internal path suppressed",
+			Wrap(Permanent, "panic", "internal panic during compile",
+				errors.New("runtime error at reticle/internal/place/place.go:42")),
+			"internal panic during compile",
+		},
+		{
+			"untyped wrapper skipped, typed layer below kept",
+			fmt.Errorf("kernel 3: %w", New(Exhausted, "deadline_exceeded", "compile deadline exceeded")),
+			"compile deadline exceeded",
+		},
+		{
+			"bare unsafe error",
+			errors.New("goroutine 7 [running]: internal/csp"),
+			"internal error",
+		},
+	}
+	for _, tc := range cases {
+		got := Message(tc.err)
+		if got != tc.want {
+			t.Errorf("%s: Message = %q, want %q", tc.name, got, tc.want)
+		}
+		if strings.Contains(got, "internal/") {
+			t.Errorf("%s: Message leaked an internal path: %q", tc.name, got)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Transient.String() != "transient" || Permanent.String() != "permanent" ||
+		Exhausted.String() != "resource-exhausted" || Unknown.String() != "unknown" {
+		t.Error("class names drifted; they are part of the wire contract")
+	}
+}

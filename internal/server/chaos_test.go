@@ -1,0 +1,295 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"reticle"
+	"reticle/internal/faults"
+	"reticle/internal/rerr"
+	"reticle/internal/server"
+)
+
+// chaosPost is post with a fault plan armed on the request context, the
+// same channel RETICLE_FAULTS feeds in production.
+func chaosPost(t testing.TB, h http.Handler, path string, body any, plan *faults.Plan) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	req = req.WithContext(faults.WithPlan(req.Context(), plan))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// chaosModes are the four failure shapes every fault point is swept
+// through.
+var chaosModes = []struct {
+	name string
+	inj  faults.Injection
+}{
+	{"transient", faults.Injection{Class: rerr.Transient, Times: 1}},
+	{"permanent", faults.Injection{Class: rerr.Permanent, Times: 1}},
+	{"exhausted", faults.Injection{Class: rerr.Exhausted, Times: 1}},
+	{"panic", faults.Injection{Panic: true, Times: 1}},
+}
+
+// chaosStatuses are the only statuses a fault is allowed to surface as.
+var chaosStatuses = map[int]bool{
+	http.StatusOK:                  true,
+	http.StatusUnprocessableEntity: true,
+	http.StatusTooManyRequests:     true,
+	http.StatusInternalServerError: true,
+	http.StatusServiceUnavailable:  true,
+	http.StatusGatewayTimeout:      true,
+}
+
+// TestChaosSweep drives every registered fault point through every
+// failure mode against a fresh server and asserts the blast-radius
+// contract: the response is always a typed error or a valid (possibly
+// Degraded) artifact — never a panic escaping the process, never an
+// internal path or stack frame on the wire, never a silent wrong
+// answer.
+func TestChaosSweep(t *testing.T) {
+	points := faults.Points()
+	if len(points) < 10 {
+		t.Fatalf("registry has %d fault points, want >= 10: %v", len(points), points)
+	}
+	registered := map[faults.Point]bool{}
+	for _, info := range points {
+		registered[info.Name] = true
+	}
+	for _, want := range []faults.Point{
+		"pipeline/select", "pipeline/place", "cache/fill",
+		"batch/worker", "server/admission", "place/solver-budget",
+	} {
+		if !registered[want] {
+			t.Fatalf("fault point %q is not registered", want)
+		}
+	}
+
+	for _, info := range points {
+		point := info.Name
+		for _, mode := range chaosModes {
+			t.Run(fmt.Sprintf("%s/%s", point, mode.name), func(t *testing.T) {
+				// A fresh server per subtest: nothing is cached, so every
+				// fault point on the compile path is actually reached.
+				s := newTestServer(t, reticle.ServerOptions{})
+				plan := faults.NewPlan(map[faults.Point]faults.Injection{point: mode.inj})
+
+				var w *httptest.ResponseRecorder
+				onBatch := strings.HasPrefix(string(point), "batch/") || point == "server/batch"
+				if onBatch {
+					w = chaosPost(t, s, "/batch", server.BatchRequest{
+						Kernels: []server.BatchKernel{{IR: maccSrc}, {Name: "second", IR: maccSrc}},
+						Jobs:    1,
+					}, plan)
+				} else {
+					w = chaosPost(t, s, "/compile", server.CompileRequest{IR: maccSrc}, plan)
+				}
+
+				body := w.Body.String()
+				if strings.Contains(body, "internal/") || strings.Contains(body, ".go:") ||
+					strings.Contains(body, "goroutine ") {
+					t.Fatalf("internal detail leaked on the wire:\n%s", body)
+				}
+				if !chaosStatuses[w.Code] {
+					t.Fatalf("status %d outside the failure contract:\n%s", w.Code, body)
+				}
+
+				if w.Code != http.StatusOK {
+					var er server.ErrorResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+						t.Fatalf("error body is not JSON: %v\n%s", err, body)
+					}
+					if er.ErrorCode == "" || er.Class == "" || er.Error == "" {
+						t.Errorf("error body missing typed fields: %+v", er)
+					}
+					if er.Code != w.Code {
+						t.Errorf("body code %d != status %d", er.Code, w.Code)
+					}
+					if w.Code == http.StatusTooManyRequests || w.Code == http.StatusServiceUnavailable {
+						if w.Header().Get("Retry-After") == "" {
+							t.Errorf("status %d without Retry-After", w.Code)
+						}
+					}
+					return
+				}
+
+				// 200: the answer must be complete and valid, degraded or not.
+				if onBatch {
+					var br server.BatchResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &br); err != nil {
+						t.Fatalf("batch body is not JSON: %v\n%s", err, body)
+					}
+					for i, res := range br.Results {
+						if res.OK {
+							if res.Artifact.Verilog == "" {
+								t.Errorf("kernel %d: ok with empty artifact", i)
+							}
+						} else if res.ErrorCode == "" || res.Error == "" {
+							t.Errorf("kernel %d: failed without typed error: %+v", i, res)
+						}
+					}
+					if mode.name == "transient" && point == "batch/worker" && br.Stats.Retried == 0 {
+						t.Error("transient worker fault was not retried")
+					}
+				} else {
+					var cr server.CompileResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &cr); err != nil {
+						t.Fatalf("compile body is not JSON: %v\n%s", err, body)
+					}
+					if cr.Artifact.Verilog == "" || cr.Artifact.Asm == "" {
+						t.Errorf("200 with incomplete artifact: %+v", cr.Artifact)
+					}
+					if cr.Artifact.Degraded && cr.Artifact.DegradedReason == "" {
+						t.Error("Degraded artifact without a reason")
+					}
+				}
+
+				// Point-specific contracts.
+				if point == "place/solver-budget" && mode.name != "panic" {
+					var cr server.CompileResponse
+					json.Unmarshal(w.Body.Bytes(), &cr)
+					if !cr.Artifact.Degraded {
+						t.Error("solver-budget fault must degrade, not fail or hide")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosAdmission: any non-panic fault at server/admission is the
+// load-shed path — 429, Retry-After, stable machine code.
+func TestChaosAdmission(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		server.FaultAdmission: {Class: rerr.Exhausted, Times: 1},
+	})
+	w := chaosPost(t, s, "/compile", server.CompileRequest{IR: maccSrc}, plan)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429\n%s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.ErrorCode != "admission_rejected" {
+		t.Errorf("error_code = %q, want admission_rejected", er.ErrorCode)
+	}
+	if er.Class != "resource-exhausted" {
+		t.Errorf("class = %q, want resource-exhausted", er.Class)
+	}
+}
+
+// TestAdmissionLoadShed: with MaxInFlight: 1 and a compile parked inside
+// the pipeline, a second concurrent request is shed with 429 +
+// Retry-After instead of queuing; after the first finishes, capacity is
+// back.
+func TestAdmissionLoadShed(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{MaxInFlight: 1})
+
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	var once sync.Once
+	server.SetOnCompileStart(func() {
+		once.Do(func() {
+			close(entered)
+			<-proceed
+		})
+	})
+	defer server.SetOnCompileStart(nil)
+
+	type firstDone struct {
+		code int
+		body []byte
+	}
+	firstc := make(chan firstDone, 1)
+	go func() {
+		data, _ := json.Marshal(server.CompileRequest{IR: maccSrc})
+		req := httptest.NewRequest("POST", "/compile", bytes.NewReader(data))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		firstc <- firstDone{w.Code, w.Body.Bytes()}
+	}()
+	<-entered // the first request now owns the only admission slot
+
+	var er server.ErrorResponse
+	data, _ := json.Marshal(server.CompileRequest{IR: maccSrc})
+	req := httptest.NewRequest("POST", "/compile", bytes.NewReader(data))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("concurrent request: status %d, want 429\n%s", w.Code, w.Body.String())
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.ErrorCode != "admission_rejected" || er.Class != "resource-exhausted" {
+		t.Errorf("shed body = %+v, want admission_rejected/resource-exhausted", er)
+	}
+
+	close(proceed)
+	first := <-firstc
+	if first.code != http.StatusOK {
+		t.Fatalf("first request: status %d\n%s", first.code, first.body)
+	}
+
+	// Capacity released: the same request is admitted again (and now hits
+	// the cache).
+	var cr server.CompileResponse
+	if code := post(t, s, "/compile", server.CompileRequest{IR: maccSrc}, &cr); code != http.StatusOK {
+		t.Fatalf("post-release request: status %d", code)
+	}
+	if cr.Cache != "hit" {
+		t.Errorf("post-release cache = %q, want hit", cr.Cache)
+	}
+}
+
+// TestDegradedNotCachedByServer: a solver-budget fault degrades request
+// one; request two (no fault) must recompile from scratch — degraded
+// artifacts are never replayed from the cache.
+func TestDegradedNotCachedByServer(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		"place/solver-budget": {Class: rerr.Exhausted, Times: 1},
+	})
+	w := chaosPost(t, s, "/compile", server.CompileRequest{IR: maccSrc}, plan)
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded request: status %d\n%s", w.Code, w.Body.String())
+	}
+	var first server.CompileResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if !first.Artifact.Degraded {
+		t.Fatal("first response not degraded under solver-budget fault")
+	}
+
+	var second server.CompileResponse
+	if code := post(t, s, "/compile", server.CompileRequest{IR: maccSrc}, &second); code != http.StatusOK {
+		t.Fatalf("second request: status %d", code)
+	}
+	if second.Cache != "miss" {
+		t.Errorf("second request cache = %q, want miss (degraded must not be cached)", second.Cache)
+	}
+	if second.Artifact.Degraded {
+		t.Error("second request degraded without a fault armed")
+	}
+}

@@ -43,6 +43,13 @@ type ArtifactJSON struct {
 	Stages        StagesJSON `json:"stages"`
 	CascadeChains int        `json:"cascade_chains"`
 	SolverSteps   int        `json:"solver_steps"`
+
+	// Degraded marks an artifact placed by the greedy fallback after the
+	// solver exhausted its budget: valid (satcheck-verified) but
+	// unoptimized, and never served from cache. DegradedReason says which
+	// budget ran out.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // StagesJSON breaks a compile (or a cumulative total) into per-stage
@@ -65,7 +72,7 @@ type CompileResponse struct {
 	Cache string `json:"cache"`
 	// Key is the content-addressed cache key (hex SHA-256 over the
 	// canonical IR hash and the config fingerprint).
-	Key string `json:"key"`
+	Key      string       `json:"key"`
 	Artifact ArtifactJSON `json:"artifact"`
 }
 
@@ -95,7 +102,7 @@ type BatchRequest struct {
 	Jobs int `json:"jobs,omitempty"`
 	// TimeoutMS is the per-kernel compile deadline; 0 means none,
 	// negative is a 400 (batch.ErrInvalidTimeout).
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
 	Kernels   []BatchKernel `json:"kernels"`
 }
 
@@ -104,9 +111,12 @@ type BatchKernelResult struct {
 	Name string `json:"name"`
 	OK   bool   `json:"ok"`
 	// Cache is "hit"/"miss"; empty when the kernel failed to parse.
-	Cache    string       `json:"cache,omitempty"`
-	Error    string       `json:"error,omitempty"`
-	Artifact ArtifactJSON `json:"artifact,omitempty"`
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+	// ErrorCode is the stable machine-readable failure identifier for a
+	// failed kernel (see ErrorResponse.ErrorCode).
+	ErrorCode string       `json:"error_code,omitempty"`
+	Artifact  ArtifactJSON `json:"artifact,omitempty"`
 }
 
 // batchKernelResultWire / batchResponseWire mirror their exported
@@ -114,11 +124,12 @@ type BatchKernelResult struct {
 // (no artifact) omit the field, which clients decode as a zero
 // ArtifactJSON.
 type batchKernelResultWire struct {
-	Name     string          `json:"name"`
-	OK       bool            `json:"ok"`
-	Cache    string          `json:"cache,omitempty"`
-	Error    string          `json:"error,omitempty"`
-	Artifact json.RawMessage `json:"artifact,omitempty"`
+	Name      string          `json:"name"`
+	OK        bool            `json:"ok"`
+	Cache     string          `json:"cache,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrorCode string          `json:"error_code,omitempty"`
+	Artifact  json.RawMessage `json:"artifact,omitempty"`
 }
 
 type batchResponseWire struct {
@@ -137,6 +148,10 @@ type BatchStatsJSON struct {
 	Compiled      int     `json:"compiled"`
 	WallNS        int64   `json:"wall_ns"`
 	KernelsPerSec float64 `json:"kernels_per_sec"`
+	// Degraded counts kernels served with a fallback-placed artifact;
+	// Retried counts extra compile attempts spent on transient failures.
+	Degraded int `json:"degraded,omitempty"`
+	Retried  int `json:"retried,omitempty"`
 }
 
 // BatchResponse is the POST /batch success body.
@@ -146,10 +161,18 @@ type BatchResponse struct {
 	Stats   BatchStatsJSON      `json:"stats"`
 }
 
-// ErrorResponse is every non-2xx body.
+// ErrorResponse is every non-2xx body. Error and ErrorCode are stable
+// wire strings built from the typed taxonomy (internal/rerr) — internal
+// fmt.Errorf chains, file paths, and panic traces never appear here.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  int    `json:"code"`
+	// ErrorCode is the stable machine-readable failure identifier
+	// ("deadline_exceeded", "placement_unsat", "admission_rejected", ...).
+	ErrorCode string `json:"error_code,omitempty"`
+	// Class is the retry semantics: "transient", "permanent",
+	// "resource-exhausted", or "unknown".
+	Class string `json:"class,omitempty"`
 }
 
 // HealthResponse is the GET /healthz body.
@@ -186,19 +209,21 @@ type StatsResponse struct {
 // artifactJSON renders an artifact for the wire.
 func artifactJSON(a *pipeline.Artifact) ArtifactJSON {
 	return ArtifactJSON{
-		Asm:           a.Asm.String(),
-		Placed:        a.Placed.String(),
-		Verilog:       a.Verilog,
-		LUTs:          a.LUTs,
-		DSPs:          a.DSPs,
-		FFs:           a.FFs,
-		Carries:       a.Carries,
-		CriticalNs:    a.CriticalNs,
-		FMaxMHz:       a.FMaxMHz,
-		CompileNS:     a.CompileDur.Nanoseconds(),
-		Stages:        stageJSON(a.Stages),
-		CascadeChains: a.CascadeChains,
-		SolverSteps:   a.SolverSteps,
+		Asm:            a.Asm.String(),
+		Placed:         a.Placed.String(),
+		Verilog:        a.Verilog,
+		LUTs:           a.LUTs,
+		DSPs:           a.DSPs,
+		FFs:            a.FFs,
+		Carries:        a.Carries,
+		CriticalNs:     a.CriticalNs,
+		FMaxMHz:        a.FMaxMHz,
+		CompileNS:      a.CompileDur.Nanoseconds(),
+		Stages:         stageJSON(a.Stages),
+		CascadeChains:  a.CascadeChains,
+		SolverSteps:    a.SolverSteps,
+		Degraded:       a.Degraded,
+		DegradedReason: a.DegradedReason,
 	}
 }
 

@@ -36,8 +36,24 @@ import (
 
 	"reticle/internal/batch"
 	"reticle/internal/cache"
+	"reticle/internal/faults"
 	"reticle/internal/ir"
 	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+)
+
+// Fault points in the HTTP tier, for the chaos suite and operational
+// drills (activate via RETICLE_FAULTS, e.g. "server/admission=exhausted"
+// to force the 429 load-shed path).
+var (
+	// FaultCompile fires at the top of the /compile handler, after
+	// admission.
+	FaultCompile = faults.Register("server/compile", "/compile handler entry, after admission")
+	// FaultBatch fires at the top of the /batch handler, after admission.
+	FaultBatch = faults.Register("server/batch", "/batch handler entry, after admission")
+	// FaultAdmission forces the admission controller to reject, as if the
+	// in-flight limit were reached.
+	FaultAdmission = faults.Register("server/admission", "admission control: force a 429 load-shed")
 )
 
 // Options configures a Server.
@@ -55,6 +71,11 @@ type Options struct {
 	// DefaultFamily names the config used when a request omits "family".
 	// Empty with exactly one configured family means that family.
 	DefaultFamily string
+	// MaxInFlight bounds concurrently admitted /compile and /batch
+	// requests: past the bound, requests are shed immediately with
+	// 429 + Retry-After instead of queuing unboundedly. 0 means
+	// unlimited.
+	MaxInFlight int
 }
 
 // Server serves compile requests over shared read-only pipeline configs,
@@ -69,10 +90,12 @@ type Server struct {
 	mux     *http.ServeMux
 	hs      *http.Server
 	start   time.Time
+	sem     chan struct{} // admission semaphore; nil = unlimited
 
 	requests atomic.Int64 // HTTP requests accepted
 	kernels  atomic.Int64 // kernels entering the pipeline (not cache hits)
 	inflight atomic.Int64 // kernels currently inside the pipeline
+	shed     atomic.Int64 // requests rejected by admission control
 
 	stageMu sync.Mutex
 	stages  pipeline.StageTimes // cumulative, compiled kernels only
@@ -155,6 +178,9 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 	}
+	if opts.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, opts.MaxInFlight)
+	}
 	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
 	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
@@ -215,15 +241,41 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 // recovered wraps a handler with panic isolation: a panic becomes a 500
 // JSON error response instead of a dead connection, the same "one bad
 // kernel never takes down the process" semantics the batch tier gives
-// each worker.
+// each worker. The body carries only the stable typed message — the
+// panic value and stack stay in the process, never on the wire.
 func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal: %v", rec))
+				writeTypedError(w, rerr.Wrap(rerr.Permanent, "internal_panic",
+					"internal panic while handling the request",
+					fmt.Errorf("panic: %v", rec)))
 			}
 		}()
 		h(w, r)
+	}
+}
+
+// admit applies admission control: a non-blocking semaphore acquire that
+// sheds load past Options.MaxInFlight with a typed resource-exhausted
+// error (429 + Retry-After on the wire) instead of queuing unboundedly.
+// The returned release must be called when the request finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if ferr := FaultAdmission.Fire(ctx); ferr != nil {
+		s.shed.Add(1)
+		return nil, rerr.Wrap(rerr.Exhausted, "admission_rejected",
+			"server at capacity, retry later", ferr)
+	}
+	if s.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, nil
+	default:
+		s.shed.Add(1)
+		return nil, rerr.New(rerr.Exhausted, "admission_rejected",
+			"server at capacity, retry later")
 	}
 }
 
@@ -300,22 +352,55 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 	return ca, hit, key, err
 }
 
-// compileStatus maps a pipeline/cache error to an HTTP status: expired
-// deadlines are gateway timeouts, cancellations client-closed requests,
-// and everything else (type errors, capacity overflows, placement
-// failures) an unprocessable kernel.
+// compileStatus maps a typed pipeline/cache error to an HTTP status:
+// admission rejections are 429, internal panics 500, expired deadlines
+// gateway timeouts, cancellations and other transient failures 503, and
+// everything else (type errors, capacity overflows, placement failures)
+// an unprocessable kernel.
 func compileStatus(err error) int {
 	switch {
+	case rerr.CodeOf(err) == "admission_rejected":
+		return http.StatusTooManyRequests
+	case rerr.CodeOf(err) == "internal_panic":
+		return http.StatusInternalServerError
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case rerr.ClassOf(err) == rerr.Transient:
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusUnprocessableEntity
 	}
 }
 
+// writeTypedError renders err through the taxonomy: stable message and
+// machine-readable code only (never internal fmt chains or paths), with
+// Retry-After set on the statuses a client should back off and retry.
+func writeTypedError(w http.ResponseWriter, err error) {
+	status := compileStatus(err)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorResponse{
+		Error:     rerr.Message(err),
+		Code:      status,
+		ErrorCode: rerr.CodeOf(err),
+		Class:     rerr.ClassOf(err).String(),
+	})
+}
+
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	defer release()
+	if err := FaultCompile.Fire(r.Context()); err != nil {
+		writeTypedError(w, err)
+		return
+	}
 	var req CompileRequest
 	if code, err := s.decode(w, r, &req); err != nil {
 		writeError(w, code, err.Error())
@@ -364,8 +449,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	s.texts.Add(tk, textEntry{key: cache.KeyFor(cfg, f), name: f.Name})
 	ca, hit, key, err := s.compileKernel(ctx, cfg, f)
 	if err != nil {
-		writeError(w, compileStatus(err), err.Error())
+		writeTypedError(w, err)
 		return
+	}
+	// A degraded (fallback-placed) artifact is served to the requester
+	// that paid for it but never replayed from cache: the next request
+	// gets a fresh shot at the full solver.
+	if ca.art != nil && ca.art.Degraded {
+		s.cache.Remove(key)
 	}
 	resp := compileResponseWire{
 		Name:     req.Name,
@@ -381,6 +472,16 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	defer release()
+	if err := FaultBatch.Fire(r.Context()); err != nil {
+		writeTypedError(w, err)
+		return
+	}
 	var req BatchRequest
 	if code, err := s.decode(w, r, &req); err != nil {
 		writeError(w, code, err.Error())
@@ -429,6 +530,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		results[i] = batchKernelResultWire{Name: name}
 		if perr != nil {
 			results[i].Error = fmt.Sprintf("parse: %v", perr)
+			results[i].ErrorCode = "parse_failed"
 			continue
 		}
 		key := cache.KeyFor(cfg, f)
@@ -454,7 +556,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		batchResults, stats, err = batch.Compile(ctx, cfg, missJobs, opts)
 		s.inflight.Add(-int64(len(missJobs)))
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeTypedError(w, err)
 			return
 		}
 		s.stageMu.Lock()
@@ -462,17 +564,26 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.stageMu.Unlock()
 	}
 
-	succeeded, failed := 0, 0
+	succeeded, failed, degraded := 0, 0, 0
 	for i := range results {
 		if results[i].Cache == "miss" {
 			br := batchResults[missIdx[keys[i]]]
 			if br.Ok() {
 				ca := render(br.Artifact)
-				s.cache.Add(keys[i], ca)
+				// Degraded artifacts go to the requester, not the cache
+				// (see handleCompile).
+				if !br.Artifact.Degraded {
+					s.cache.Add(keys[i], ca)
+				} else {
+					degraded++
+				}
 				results[i].OK = true
 				results[i].Artifact = ca.rendered
 			} else {
-				results[i].Error = br.Err.Error()
+				// Per-kernel failures cross the wire as the typed stable
+				// message and code only — never raw fmt.Errorf chains.
+				results[i].Error = rerr.Message(br.Err)
+				results[i].ErrorCode = rerr.CodeOf(br.Err)
 			}
 		}
 		if results[i].OK {
@@ -491,6 +602,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Compiled:      len(missJobs),
 			WallNS:        stats.Wall.Nanoseconds(),
 			KernelsPerSec: stats.KernelsPerSec,
+			Degraded:      degraded,
+			Retried:       stats.Retried,
 		},
 	})
 }

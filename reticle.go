@@ -24,6 +24,7 @@ package reticle
 import (
 	"context"
 	"sync"
+	"time"
 
 	"reticle/internal/asm"
 	"reticle/internal/batch"
@@ -36,6 +37,7 @@ import (
 	"reticle/internal/isel"
 	"reticle/internal/passes"
 	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
 	"reticle/internal/server"
 	"reticle/internal/target/agilex"
 	"reticle/internal/target/ultrascale"
@@ -126,6 +128,16 @@ type Options struct {
 	// TimingDriven enables post-placement timing refinement, the layout
 	// exploration the paper lists as future work (§1).
 	TimingDriven bool
+	// MaxSolverSteps bounds the placement CSP search; 0 means the solver
+	// default. When the budget runs out the compiler degrades to a greedy
+	// first-fit placement (valid, satcheck-verified) and marks the
+	// artifact Degraded instead of failing.
+	MaxSolverSteps int
+	// SolverTimeout is a soft wall-clock budget for the placement solve;
+	// past it the compiler degrades like MaxSolverSteps exhaustion.
+	// 0 means no time budget. Excluded from cache fingerprints — degraded
+	// artifacts are never cached, so the timeout cannot alias keys.
+	SolverTimeout time.Duration
 }
 
 // Compiler runs the full Reticle pipeline against one target and device.
@@ -169,14 +181,16 @@ func NewCompilerWith(opts Options) (*Compiler, error) {
 	return &Compiler{
 		opts: opts,
 		cfg: pipeline.Config{
-			Target:       opts.Target,
-			Device:       opts.Device,
-			Lib:          lib,
-			Cascades:     cascades,
-			NoCascade:    opts.NoCascade,
-			Shrink:       opts.Shrink,
-			Greedy:       opts.Greedy,
-			TimingDriven: opts.TimingDriven,
+			Target:         opts.Target,
+			Device:         opts.Device,
+			Lib:            lib,
+			Cascades:       cascades,
+			NoCascade:      opts.NoCascade,
+			Shrink:         opts.Shrink,
+			Greedy:         opts.Greedy,
+			TimingDriven:   opts.TimingDriven,
+			MaxSolverSteps: opts.MaxSolverSteps,
+			SolverTimeout:  opts.SolverTimeout,
 		},
 	}, nil
 }
@@ -215,6 +229,46 @@ func (c *Compiler) Compile(f *Func) (*Artifact, error) {
 func (c *Compiler) CompileContext(ctx context.Context, f *Func) (*Artifact, error) {
 	return pipeline.Compile(ctx, &c.cfg, f)
 }
+
+// Typed error taxonomy, re-exported from internal/rerr. Every pipeline,
+// batch, and service failure is classified for errors.Is:
+//
+//	if errors.Is(err, reticle.ErrTransient) { retry() }
+type (
+	// ErrorClass is the retry semantics of a failure (transient /
+	// permanent / resource-exhausted).
+	ErrorClass = rerr.Class
+	// CompileError is a classified failure with a stable machine-readable
+	// Code and a client-safe Msg, reachable via errors.As.
+	CompileError = rerr.Error
+)
+
+// Error classes.
+const (
+	// ClassUnknown marks unclassified errors (treated as permanent).
+	ClassUnknown = rerr.Unknown
+	// ClassTransient failures may succeed on retry.
+	ClassTransient = rerr.Transient
+	// ClassPermanent failures will not succeed on retry.
+	ClassPermanent = rerr.Permanent
+	// ClassExhausted failures ran out of a budget or resource.
+	ClassExhausted = rerr.Exhausted
+)
+
+// Class sentinels for errors.Is, matching any error of that class.
+var (
+	// ErrTransient matches transient failures.
+	ErrTransient = rerr.ErrTransient
+	// ErrPermanent matches permanent failures.
+	ErrPermanent = rerr.ErrPermanent
+	// ErrExhausted matches budget/resource exhaustion.
+	ErrExhausted = rerr.ErrExhausted
+)
+
+// ErrorClassOf reports the classification of err (ClassUnknown for
+// unclassified errors; context deadline expiry is ClassExhausted,
+// cancellation ClassTransient).
+func ErrorClassOf(err error) ErrorClass { return rerr.ClassOf(err) }
 
 // Batch compilation types, re-exported from internal/batch.
 type (
@@ -294,9 +348,17 @@ func (c *Compiler) CompileCached(ctx context.Context, ca *CompileCache, f *Func)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return ca.GetOrCompute(ctx, cache.KeyFor(&c.cfg, f), func() (*Artifact, error) {
+	key := cache.KeyFor(&c.cfg, f)
+	art, hit, err := ca.GetOrCompute(ctx, key, func() (*Artifact, error) {
 		return pipeline.Compile(ctx, &c.cfg, f)
 	})
+	// Degraded (fallback-placed) artifacts are served to the caller that
+	// paid for them but never replayed from cache: the next compile gets
+	// a fresh shot at the full solver.
+	if err == nil && art != nil && art.Degraded {
+		ca.Remove(key)
+	}
+	return art, hit, err
 }
 
 // defaultCached backs the package-level CompileCached convenience entry

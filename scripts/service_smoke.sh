@@ -86,4 +86,38 @@ kill -TERM "$pid"
 wait "$pid" || fail "server did not drain cleanly on SIGTERM"
 pid=""
 
-echo "service_smoke: OK (miss -> hit, identical artifact, clean drain)"
+# Load-shed probe: restart with admission control bounded and the
+# admission fault armed for exactly one request (RETICLE_FAULTS, the
+# operational chaos channel). The first request must shed with 429 +
+# Retry-After and the stable machine code; the second, with the fault
+# consumed, must compile normally — shedding is per-request, not
+# sticky.
+RETICLE_FAULTS='server/admission=exhausted:1' \
+    "$tmp/reticle-serve" -addr "127.0.0.1:$port" -max-inflight 1 >"$tmp/serve.log" 2>&1 &
+pid=$!
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "load-shed server did not come up on $base"
+    kill -0 "$pid" 2>/dev/null || fail "load-shed server exited early"
+    sleep 0.2
+done
+
+curl -sS -D "$tmp/shed.hdr" -o "$tmp/shed.json" -X POST \
+    --data-binary @"$tmp/req.json" "$base/compile" || fail "shed probe request failed"
+grep -q '429' "$tmp/shed.hdr" || fail "shed probe status: $(head -1 "$tmp/shed.hdr")"
+grep -qi '^retry-after:' "$tmp/shed.hdr" || fail "429 without Retry-After: $(cat "$tmp/shed.hdr")"
+grep -q '"error_code":"admission_rejected"' "$tmp/shed.json" \
+    || fail "shed body missing admission_rejected: $(cat "$tmp/shed.json")"
+grep -q '"class":"resource-exhausted"' "$tmp/shed.json" \
+    || fail "shed body missing class: $(cat "$tmp/shed.json")"
+
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/compile" >"$tmp/after.json" \
+    || fail "post-shed /compile failed"
+grep -q '"cache":"miss"' "$tmp/after.json" || fail "post-shed compile: $(cat "$tmp/after.json")"
+
+kill -TERM "$pid"
+wait "$pid" || fail "load-shed server did not drain cleanly on SIGTERM"
+pid=""
+
+echo "service_smoke: OK (miss -> hit, identical artifact, 429 load shed, clean drain)"
