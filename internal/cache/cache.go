@@ -196,6 +196,18 @@ func (c *Cache[V]) insertLocked(key Key, val V) {
 // and propagated the same way, mirroring the batch tier's per-kernel
 // recovery semantics.
 func (c *Cache[V]) GetOrCompute(ctx context.Context, key Key, compute func() (V, error)) (val V, hit bool, err error) {
+	return c.GetOrComputeKeep(ctx, key, compute, nil)
+}
+
+// GetOrComputeKeep is GetOrCompute with a keep predicate: a successfully
+// computed value for which keep returns false is returned to the leader
+// and any waiters coalesced onto the same flight, but is never published
+// to the LRU, so later requests cannot be served it as a cache hit. The
+// service tier uses it to keep degraded (fallback-placed or
+// shrink-truncated) artifacts out of the cache — publishing and then
+// removing them would leave a window in which concurrent requests replay
+// the degraded answer. A nil keep publishes every successful value.
+func (c *Cache[V]) GetOrComputeKeep(ctx context.Context, key Key, compute func() (V, error), keep func(V) bool) (val V, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -242,7 +254,7 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key Key, compute func() (V,
 
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if err == nil {
+	if err == nil && (keep == nil || keep(val)) {
 		c.insertLocked(key, val)
 	}
 	c.mu.Unlock()
@@ -252,9 +264,8 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key Key, compute func() (V,
 }
 
 // Remove drops key from the cache if resident, reporting whether it was.
-// The service tier uses it to evict degraded (fallback-placed) artifacts
-// the compute function published before noticing the degradation: a
-// degraded answer may be served once, but never replayed from cache.
+// (Degraded artifacts no longer need it: the service tier keeps them out
+// of the cache via GetOrComputeKeep instead of evicting after the fact.)
 func (c *Cache[V]) Remove(key Key) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

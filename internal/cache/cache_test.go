@@ -314,6 +314,89 @@ func TestWaiterHonorsContext(t *testing.T) {
 	}
 }
 
+// TestKeepPredicateNeverPublishes: a computed value rejected by the keep
+// predicate is returned to the leader but never becomes resident, so the
+// next request recomputes — the degraded-never-cached contract without
+// an add-then-remove window.
+func TestKeepPredicateNeverPublishes(t *testing.T) {
+	c := cache.New[*pipeline.Artifact](8)
+	ctx := context.Background()
+	degraded := &pipeline.Artifact{Degraded: true}
+	keep := func(a *pipeline.Artifact) bool { return !a.Degraded }
+
+	got, hit, err := c.GetOrComputeKeep(ctx, "k", func() (*pipeline.Artifact, error) {
+		return degraded, nil
+	}, keep)
+	if err != nil || hit || got != degraded {
+		t.Fatalf("leader: got=%p hit=%v err=%v", got, hit, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected value became resident")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("rejected value served as a hit")
+	}
+
+	// The next request runs its own compute; a kept value is published.
+	want := art()
+	got, hit, err = c.GetOrComputeKeep(ctx, "k", func() (*pipeline.Artifact, error) {
+		return want, nil
+	}, keep)
+	if err != nil || hit || got != want {
+		t.Fatalf("recompute: got=%p hit=%v err=%v", got, hit, err)
+	}
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("kept value not resident")
+	}
+	if st := c.Stats(); st.Computes != 2 {
+		t.Errorf("computes = %d, want 2", st.Computes)
+	}
+}
+
+// TestKeepPredicateCoalesced: waiters coalesced onto a flight whose value
+// the keep predicate rejects still receive that value (they share the
+// leader's compile), but no concurrent or later request can ever observe
+// it as a resident cache entry.
+func TestKeepPredicateCoalesced(t *testing.T) {
+	c := cache.New[*pipeline.Artifact](8)
+	degraded := &pipeline.Artifact{Degraded: true}
+	keep := func(a *pipeline.Artifact) bool { return !a.Degraded }
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrComputeKeep(context.Background(), "k", func() (*pipeline.Artifact, error) {
+			close(started)
+			<-release
+			return degraded, nil
+		}, keep)
+		leaderDone <- err
+	}()
+	<-started
+
+	waiterDone := make(chan *pipeline.Artifact, 1)
+	go func() {
+		got, _, _ := c.GetOrComputeKeep(context.Background(), "k", func() (*pipeline.Artifact, error) {
+			t.Error("waiter ran its own compute")
+			return art(), nil
+		}, keep)
+		waiterDone <- got
+	}()
+	for c.Stats().Coalesced == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	if got := <-waiterDone; got != degraded {
+		t.Errorf("waiter got %p, want the shared flight value", got)
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected value resident after flight completed")
+	}
+}
+
 // TestHitRate: the stats expose a usable hit rate (coalesced waiters
 // count as hits — they were served without their own compile).
 func TestHitRate(t *testing.T) {

@@ -29,7 +29,7 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var err error
 	switch args[0] {
 	case "compile":
-		err = cmdCompile(args[1:], stdin, stdout)
+		err = cmdCompile(args[1:], stdin, stdout, stderr)
 	case "interp":
 		err = cmdInterp(args[1:], stdin, stdout)
 	case "expand":
@@ -88,7 +88,7 @@ func readSource(args []string, stdin io.Reader) (string, error) {
 	return string(data), nil
 }
 
-func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
+func cmdCompile(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("compile", flag.ContinueOnError)
 	emit := fs.String("emit", "verilog", "stage to print: ir|asm|place|verilog|stats|timing")
 	shrink := fs.Bool("shrink", false, "enable area-compaction shrinking passes")
@@ -129,7 +129,7 @@ func cmdCompile(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		if art.Degraded {
-			fmt.Fprintf(os.Stderr, "reticle: warning: degraded placement (%s)\n", art.DegradedReason)
+			fmt.Fprintf(stderr, "reticle: warning: degraded placement (%s)\n", art.DegradedReason)
 		}
 		return emitArtifact(stdout, *emit, art)
 	}

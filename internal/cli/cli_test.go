@@ -274,6 +274,34 @@ def addk(a:i8, b:i8) -> (y:i8) {
 }
 `
 
+// TestCompileDegradedWarningOnStderr: the degraded-placement warning must
+// go to the injected stderr writer (not os.Stderr), so embedders and
+// tests capturing stderr see it. Four independent muls need >1 solver
+// step, so -max-steps 1 deterministically engages the greedy fallback.
+func TestCompileDegradedWarningOnStderr(t *testing.T) {
+	src := `
+def four(a:i8, b:i8, c:i8, d:i8) -> (y0:i8, y1:i8, y2:i8, y3:i8) {
+    y0:i8 = mul(a, b) @??;
+    y1:i8 = mul(c, d) @??;
+    y2:i8 = mul(a, d) @??;
+    y3:i8 = mul(c, b) @??;
+}
+`
+	code, out, errb := runCLI(t, src, "compile", "-max-steps", "1", "-")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "module four") {
+		t.Errorf("degraded compile produced no Verilog:\n%s", out)
+	}
+	if !strings.Contains(errb, "degraded placement") {
+		t.Errorf("warning missing from injected stderr: %q", errb)
+	}
+	if strings.Contains(out, "degraded placement") {
+		t.Errorf("warning leaked onto stdout:\n%s", out)
+	}
+}
+
 // TestCompileJobsMultiFile: `compile -jobs N a.ret b.ret ...` compiles
 // every file through the batch API and prints one headed section each,
 // in argument order.

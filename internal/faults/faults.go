@@ -124,17 +124,30 @@ func (p *Plan) Fired(point Point) int64 {
 	return 0
 }
 
-// evaluate decides whether point fires, consuming one Times slot.
+// evaluate decides whether point fires, consuming one Times slot. The
+// counter records actual fires only: evaluations suppressed by the Times
+// cap do not increment it, so Fired never over-reports. The
+// compare-and-swap loop keeps the claim of a slot and the count update
+// atomic under concurrent evaluation.
 func (p *Plan) evaluate(point Point) (Injection, bool) {
 	inj, ok := p.injections[point]
 	if !ok {
 		return Injection{}, false
 	}
-	n := p.fired[point].Add(1)
-	if inj.Times > 0 && n > int64(inj.Times) {
-		return Injection{}, false
+	ctr := p.fired[point]
+	if inj.Times <= 0 {
+		ctr.Add(1)
+		return inj, true
 	}
-	return inj, true
+	for {
+		n := ctr.Load()
+		if n >= int64(inj.Times) {
+			return Injection{}, false
+		}
+		if ctr.CompareAndSwap(n, n+1) {
+			return inj, true
+		}
+	}
 }
 
 type ctxKey struct{}

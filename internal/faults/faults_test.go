@@ -56,6 +56,11 @@ func TestTimesCap(t *testing.T) {
 			t.Fatalf("fire past cap returned %v", err)
 		}
 	}
+	// Fired counts actual fires only: the three capped evaluations above
+	// must not inflate it past Times.
+	if got := plan.Fired(fpAlpha); got != 2 {
+		t.Errorf("Fired = %d after capped evaluations, want 2", got)
+	}
 }
 
 func TestPanicInjection(t *testing.T) {

@@ -179,9 +179,11 @@ type Artifact struct {
 	// SolverSteps counts placement search steps.
 	SolverSteps int
 
-	// Degraded reports that placement fell back to the greedy first-fit
-	// placer after the CSP solver exhausted its step or time budget.
-	// The placement is valid (checked by place.Verify) but unoptimized;
+	// Degraded reports a budget-truncated placement: either placement
+	// fell back to the greedy first-fit placer after the CSP solver
+	// exhausted its step or time budget, or the soft time budget expired
+	// mid-shrink and compaction stopped early. Both are valid (checked
+	// by place.Verify) but unoptimized and wall-clock-dependent;
 	// DegradedReason says which budget ran out. Degraded artifacts are
 	// served, surfaced through batch stats and the service response,
 	// and never cached.

@@ -123,6 +123,63 @@ func TestCanceledContextFails(t *testing.T) {
 	}
 }
 
+// TestShrinkInterruptDegrades: a soft time budget expiring mid-shrink
+// (simulated by the place/shrink-interrupt fault point) keeps the valid
+// base placement but marks it Degraded — a time-truncated compaction is
+// not reproducible, so it must never look like a cacheable artifact.
+func TestShrinkInterruptDegrades(t *testing.T) {
+	f, err := asm.Parse(sixDsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := dev4(t)
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultShrinkInterrupt: {Class: rerr.Exhausted, Times: 1},
+	})
+	ctx := faults.WithPlan(context.Background(), plan)
+	res, perr := PlaceContext(ctx, f, dev, Options{Shrink: true})
+	if perr != nil {
+		t.Fatalf("PlaceContext: %v", perr)
+	}
+	if !res.Degraded {
+		t.Fatal("shrink interruption did not mark the placement Degraded")
+	}
+	if !strings.Contains(res.DegradedReason, "shrink") {
+		t.Errorf("DegradedReason = %q, want shrink mention", res.DegradedReason)
+	}
+	if !res.Fn.Resolved() {
+		t.Fatalf("interrupted shrink left unresolved locations:\n%s", res.Fn)
+	}
+	if err := Verify(f, res.Fn, dev); err != nil {
+		t.Errorf("interrupted-shrink placement fails satcheck: %v", err)
+	}
+}
+
+// TestShrinkInterruptNoFallback: with degradation disabled, a shrink
+// interruption is a typed resource-exhausted error rather than a
+// silently partially-compacted success.
+func TestShrinkInterruptNoFallback(t *testing.T) {
+	f, err := asm.Parse(sixDsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultShrinkInterrupt: {Class: rerr.Exhausted, Times: 1},
+	})
+	ctx := faults.WithPlan(context.Background(), plan)
+	_, err = PlaceContext(ctx, f, dev4(t), Options{Shrink: true, NoFallback: true})
+	if err == nil {
+		t.Fatal("expected an error with NoFallback")
+	}
+	if !errors.Is(err, rerr.ErrExhausted) {
+		t.Errorf("err = %v, want rerr.ErrExhausted", err)
+	}
+	var re *rerr.Error
+	if !errors.As(err, &re) || re.Code != "solver_budget" {
+		t.Errorf("err = %v, want code solver_budget", err)
+	}
+}
+
 // TestFaultPointDegrades: arming place/solver-budget forces the fallback
 // without any real budget pressure — the injection seam the chaos sweep
 // leans on.

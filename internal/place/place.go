@@ -41,6 +41,13 @@ import (
 var FaultSolverBudget = faults.Register("place/solver-budget",
 	"CSP placement solver exhausts its step budget; greedy fallback must engage")
 
+// FaultShrinkInterrupt, when armed, simulates the soft time budget
+// expiring between shrink probes: the base placement is kept but must be
+// marked Degraded, since a time-truncated compaction is not reproducible
+// and must never be cached.
+var FaultShrinkInterrupt = faults.Register("place/shrink-interrupt",
+	"solver time budget expires mid-shrink; result must be kept but marked Degraded")
+
 // Slot is a resolved location: a concrete slice of a primitive kind.
 type Slot struct {
 	Prim ir.Resource
@@ -59,9 +66,12 @@ type Result struct {
 	ShrinkIters int
 	// MaxX and MaxY record the final per-primitive bounding box.
 	MaxX, MaxY map[ir.Resource]int
-	// Degraded reports that the CSP solver exhausted its step or time
-	// budget and the placement came from the greedy first-fit fallback:
-	// valid (checked by Verify) but unoptimized.
+	// Degraded reports a budget-truncated placement: either the CSP
+	// solver exhausted its step or time budget and the placement came
+	// from the greedy first-fit fallback, or the soft time budget
+	// expired mid-shrink and the compaction stopped early. Both are
+	// valid (checked by Verify) but unoptimized, and both depend on
+	// wall-clock time, so degraded results are never cached.
 	Degraded bool
 	// DegradedReason says which budget ran out, for stats and responses.
 	DegradedReason string
@@ -118,8 +128,11 @@ func Place(f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
 // the CSP solver exhausts its step budget (Options.MaxSteps) or soft
 // time budget (Options.SolverTimeout), the greedy first-fit fallback
 // produces a valid but unoptimized placement, verified by Verify and
-// marked Degraded, instead of failing the kernel. A dead context aborts
-// the solve promptly (the solver polls it mid-search) and fails with the
+// marked Degraded, instead of failing the kernel. A soft time budget
+// expiring mid-shrink keeps the already-valid base placement but also
+// marks it Degraded: the compaction was truncated by wall-clock time,
+// so the result must never be cached. A dead context aborts the solve
+// promptly (the solver polls it mid-search) and fails with the
 // context's typed classification — degrading would be pointless when the
 // caller has already gone away.
 func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Options) (*Result, error) {
@@ -193,6 +206,8 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 	}
 	shrinkIters := 0
 	bounds := full
+	interrupted := false
+	var interruptCause error
 
 	if opts.Shrink {
 		// Probes are capped: a tight bound that sends the solver into deep
@@ -202,7 +217,10 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 		if probeSteps == 0 {
 			probeSteps = 100_000
 		}
-		interrupted := false
+		if ferr := FaultShrinkInterrupt.Fire(ctx); ferr != nil {
+			interrupted = true
+			interruptCause = ferr
+		}
 		for _, prim := range []ir.Resource{ir.ResDsp, ir.ResLut} {
 			if counts[prim] == 0 || interrupted {
 				continue
@@ -226,6 +244,7 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 						// solution is already valid, so stop compacting and
 						// keep what we have — shrinking is best-effort.
 						interrupted = true
+						interruptCause = err
 						break
 					}
 					if err == nil {
@@ -245,9 +264,31 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 		}
 	}
 
+	if interrupted {
+		// A partially-shrunk layout depends on wall-clock time. Serving
+		// it unmarked would cache a time-truncated artifact under the
+		// same content-addressed key as a fully-shrunk one, so it must
+		// either fail (dead caller, NoFallback) or be marked Degraded
+		// (never cached).
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, rerr.Wrap(rerr.ClassOf(cerr), rerr.CodeOf(cerr),
+				"placement aborted", cerr)
+		}
+		if opts.NoFallback {
+			return nil, rerr.Wrap(rerr.Exhausted, "solver_budget",
+				"placement solver budget exhausted", interruptCause)
+		}
+	}
+
 	res := writeBack(f, dev, clusters, sol)
 	res.SolverSteps = totalSteps
 	res.ShrinkIters = shrinkIters
+	if interrupted {
+		res.Degraded = true
+		res.DegradedReason = fmt.Sprintf(
+			"solver time budget %s expired during shrink after %d probes; placement valid but not fully compacted",
+			opts.SolverTimeout, shrinkIters)
+	}
 	return res, nil
 }
 

@@ -333,7 +333,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) (int, e
 // the in-flight gauge and cumulative stage times.
 func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.Func) (cachedArtifact, bool, cache.Key, error) {
 	key := cache.KeyFor(cfg, f)
-	ca, hit, err := s.cache.GetOrCompute(ctx, key, func() (cachedArtifact, error) {
+	// A degraded (fallback-placed or shrink-truncated) artifact is served
+	// to the requester that paid for it but never published to the cache:
+	// the next request gets a fresh shot at the full solver. The keep
+	// predicate enforces that atomically inside the fill path — an
+	// add-then-remove would briefly serve the degraded artifact as a hit
+	// to concurrent requests.
+	keep := func(ca cachedArtifact) bool { return ca.art == nil || !ca.art.Degraded }
+	ca, hit, err := s.cache.GetOrComputeKeep(ctx, key, func() (cachedArtifact, error) {
 		if onCompileStart != nil {
 			onCompileStart()
 		}
@@ -348,7 +355,7 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 		s.stages.Add(art.Stages)
 		s.stageMu.Unlock()
 		return render(art), nil
-	})
+	}, keep)
 	return ca, hit, key, err
 }
 
@@ -451,12 +458,6 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeTypedError(w, err)
 		return
-	}
-	// A degraded (fallback-placed) artifact is served to the requester
-	// that paid for it but never replayed from cache: the next request
-	// gets a fresh shot at the full solver.
-	if ca.art != nil && ca.art.Degraded {
-		s.cache.Remove(key)
 	}
 	resp := compileResponseWire{
 		Name:     req.Name,

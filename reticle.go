@@ -349,16 +349,14 @@ func (c *Compiler) CompileCached(ctx context.Context, ca *CompileCache, f *Func)
 		ctx = context.Background()
 	}
 	key := cache.KeyFor(&c.cfg, f)
-	art, hit, err := ca.GetOrCompute(ctx, key, func() (*Artifact, error) {
+	// Degraded (fallback-placed or shrink-truncated) artifacts are served
+	// to the caller that paid for them but never published to the cache:
+	// the next compile gets a fresh shot at the full solver. The keep
+	// predicate keeps them out of the LRU atomically, with no
+	// publish-then-remove window for concurrent callers to hit.
+	return ca.GetOrComputeKeep(ctx, key, func() (*Artifact, error) {
 		return pipeline.Compile(ctx, &c.cfg, f)
-	})
-	// Degraded (fallback-placed) artifacts are served to the caller that
-	// paid for them but never replayed from cache: the next compile gets
-	// a fresh shot at the full solver.
-	if err == nil && art != nil && art.Degraded {
-		ca.Remove(key)
-	}
-	return art, hit, err
+	}, func(a *Artifact) bool { return a == nil || !a.Degraded })
 }
 
 // defaultCached backs the package-level CompileCached convenience entry
