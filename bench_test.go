@@ -222,6 +222,42 @@ func BenchmarkAblationShrink(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceShrink measures the placement hot path the warm-started
+// shrink loop optimizes: tensordot 5x36 through the full pipeline with
+// Shrink enabled — after cascading, five 36-member DSP macro chains whose
+// compaction used to burn the probe step budget proving tight bounds
+// infeasible. The custom metrics land in BENCH_<sha>.json (via
+// cmd/reticle-benchjson) and are the placement-stage series
+// scripts/bench_compare.sh guards against regression.
+func BenchmarkPlaceShrink(b *testing.B) {
+	f, err := bench.TensorDot(5, 36)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCompilerWith(Options{Shrink: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var art *Artifact
+	for i := 0; i < b.N; i++ {
+		art, err = c.Compile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	ps := art.Place
+	b.ReportMetric(float64(ps.SolverSteps), "solver-steps")
+	b.ReportMetric(float64(ps.ShrinkProbes), "shrink-probes")
+	b.ReportMetric(float64(ps.ProbesSkipped), "probes-skipped")
+	if ps.ShrinkProbes > 0 {
+		b.ReportMetric(float64(ps.SolverSteps)/float64(ps.ShrinkProbes), "steps-per-probe")
+	}
+	if ps.HintTried > 0 {
+		b.ReportMetric(float64(ps.HintHits)/float64(ps.HintTried), "hint-hit-rate")
+	}
+	b.ReportMetric(float64(art.Stages.Place.Nanoseconds()), "place-ns")
+}
+
 // BenchmarkAblationCascade compares tensordot timing with and without the
 // §5.2 layout optimization (DESIGN.md ablation 3).
 func BenchmarkAblationCascade(b *testing.B) {

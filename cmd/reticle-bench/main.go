@@ -7,16 +7,23 @@
 //
 //	reticle-bench [-fig 4|13|all] [-bench tensoradd|tensordot|fsm] [-fast]
 //	reticle-bench -ablate
+//	reticle-bench -profile-place [-profile-iters N] [-cpuprofile out.pprof]
 //
 // -fast shortens the baseline's annealing schedule for quick smoke runs;
 // the full schedule is what the compile-speedup figures are about.
-// -ablate prints the design-choice comparison table instead of figures.
+// -ablate prints the design-choice ablation table instead of figures.
+// -profile-place runs the placement shrink hot loop (tensordot 5x36, the
+// ROADMAP profiling target) and, with -cpuprofile, writes a pprof CPU
+// profile of it. -cpuprofile also works with the figure and ablation
+// modes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"time"
 
 	"reticle"
 	"reticle/internal/bench"
@@ -34,11 +41,34 @@ func main() {
 	fast := flag.Bool("fast", false, "shorten the baseline annealing schedule")
 	shrink := flag.Bool("shrink", false, "enable Reticle's shrinking passes")
 	ablate := flag.Bool("ablate", false, "also print the design-choice ablation table")
+	profilePlace := flag.Bool("profile-place", false,
+		"run the placement shrink hot loop (tensordot 5x36) instead of figures")
+	profileIters := flag.Int("profile-iters", 20, "iterations for -profile-place")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := eval.Config{Shrink: *shrink}
 	if *fast {
 		cfg.Anneal = vivado.AnnealOptions{Seed: 1, MovesPerCell: 100, MinMoves: 20_000}
+	}
+
+	if *profilePlace {
+		if err := profilePlaceShrink(*profileIters); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *ablate {
@@ -98,6 +128,62 @@ func figure13(name string, sizes []int, cfg eval.Config) error {
 	fmt.Print(eval.FormatChart(sp))
 	fmt.Println()
 	return nil
+}
+
+// profilePlaceShrink drives the shrink-enabled pipeline over tensordot
+// 5x36 — the placement workload the ROADMAP names for solver profiling —
+// and prints the solver counters per iteration. Under -cpuprofile the
+// loop is what dominates the profile, so `go tool pprof` lands straight
+// in the CSP search.
+func profilePlaceShrink(iters int) error {
+	f, err := bench.TensorDot(5, 36)
+	if err != nil {
+		return err
+	}
+	c, err := reticle.NewCompilerWith(reticle.Options{Shrink: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Placement shrink profile: tensordot 5x36, %d iterations ==\n", iters)
+	t0 := time.Now()
+	var art *reticle.Artifact
+	for i := 0; i < iters; i++ {
+		art, err = c.Compile(f)
+		if err != nil {
+			return err
+		}
+	}
+	wall := time.Since(t0)
+	ps := art.Place
+	fmt.Printf("place stage:    %s/iter (total wall %s)\n", art.Stages.Place, wall)
+	fmt.Printf("solver steps:   %d\n", ps.SolverSteps)
+	fmt.Printf("shrink probes:  %d solved, %d revalidated (skipped)\n", ps.ShrinkProbes, ps.ProbesSkipped)
+	if ps.HintTried > 0 {
+		fmt.Printf("warm start:     %d/%d hints kept (%.0f%%)\n",
+			ps.HintHits, ps.HintTried, 100*float64(ps.HintHits)/float64(ps.HintTried))
+	}
+	fmt.Printf("dsp bbox:       %d x %d\n",
+		maxLoc(art, 0)+1, maxLoc(art, 1)+1)
+	return nil
+}
+
+// maxLoc scans the placed program for the maximum DSP x (axis 0) or y
+// (axis 1) coordinate.
+func maxLoc(art *reticle.Artifact, axis int) int {
+	best := 0
+	for _, in := range art.Placed.Body {
+		if in.IsWire() || in.Loc.Prim != ir.ResDsp {
+			continue
+		}
+		v := int(in.Loc.X.Off)
+		if axis == 1 {
+			v = int(in.Loc.Y.Off)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best
 }
 
 // ablations prints the DESIGN.md §5 design-choice comparisons.

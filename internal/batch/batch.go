@@ -133,6 +133,8 @@ type Stats struct {
 	// Jobs > 1 the sum exceeds Wall — that surplus is the parallel
 	// speedup.
 	Stages pipeline.StageTimes
+	// Place sums placement solver counters across successful kernels.
+	Place pipeline.PlaceStats
 }
 
 // Compile runs every job through the shared config with at most
@@ -217,6 +219,7 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 		if r.Ok() {
 			st.Succeeded++
 			st.Stages.Add(r.Artifact.Stages)
+			st.Place.Add(r.Artifact.Place)
 			if r.Artifact.Degraded {
 				st.Degraded++
 			}

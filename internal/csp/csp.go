@@ -17,11 +17,28 @@ import (
 // Var identifies a problem variable.
 type Var int
 
-// Binary is a directed binary constraint: when `from` is assigned value v,
-// values w of `to` with Allow(v, w) == false are pruned.
+// NoHint marks a variable without a warm-start hint in SetHints input.
+const NoHint = -1 << 62
+
+// Binary is a directed binary constraint: when the owning variable is
+// assigned value v, values w of `to` that the constraint forbids are
+// pruned. The same allow func is shared by both directions; flip says
+// whether the owning variable is the second argument. Storing a flag
+// instead of wrapping allow in a per-direction closure keeps the hottest
+// propagation path to one indirect call and zero extra allocations.
 type binary struct {
 	to    Var
 	allow func(v, w int) bool
+	flip  bool
+}
+
+// holds reports whether the constraint permits the owning variable at
+// value v alongside `to` at value w.
+func (b *binary) holds(v, w int) bool {
+	if b.flip {
+		return b.allow(w, v)
+	}
+	return b.allow(v, w)
 }
 
 // Problem is a constraint satisfaction problem under construction.
@@ -35,12 +52,21 @@ type Problem struct {
 	groups [][]Var
 	member [][]int
 
+	// hints, when non-nil, holds a warm-start value per variable
+	// (NoHint = none): the search tries a variable's hint first.
+	hints []int
+
 	steps    int
 	maxSteps int
 	// interrupt, when set, is polled every interruptStride steps; a true
 	// return aborts the search with *ErrInterrupted.
 	interrupt   func() bool
 	interrupted bool
+
+	// hintsTried/hintHits describe the last successful Solve: how many
+	// variables had a hint, and how many kept it in the solution.
+	hintsTried int
+	hintHits   int
 }
 
 // interruptStride is how many search steps pass between interrupt polls:
@@ -48,9 +74,9 @@ type Problem struct {
 // enough that the poll never shows up in solver profiles.
 const interruptStride = 1024
 
-// NewVar adds a variable with the given domain (copied). Domains keep
-// their given order; the solver tries values in that order, so callers
-// control packing direction.
+// NewVar adds a variable with the given domain (copied). The solver
+// tries values in ascending order (deterministic low-first packing); the
+// sorted order is computed once here rather than per search node.
 func (p *Problem) NewVar(name string, values []int) Var {
 	d := newDomain(values)
 	p.names = append(p.names, name)
@@ -61,10 +87,11 @@ func (p *Problem) NewVar(name string, values []int) Var {
 }
 
 // AddBinary adds a constraint allow(a, b) that must hold between the two
-// variables' values. Propagation runs in both directions.
+// variables' values. Propagation runs in both directions; both store the
+// same func with a direction flag (see binary).
 func (p *Problem) AddBinary(a, b Var, allow func(av, bv int) bool) {
-	p.adj[a] = append(p.adj[a], binary{to: b, allow: func(v, w int) bool { return allow(v, w) }})
-	p.adj[b] = append(p.adj[b], binary{to: a, allow: func(v, w int) bool { return allow(w, v) }})
+	p.adj[a] = append(p.adj[a], binary{to: b, allow: allow})
+	p.adj[b] = append(p.adj[b], binary{to: a, allow: allow, flip: true})
 }
 
 // AddAllDifferent requires all listed variables to take distinct values.
@@ -86,8 +113,39 @@ func (p *Problem) SetMaxSteps(n int) { p.maxSteps = n }
 // after the caller has already given up.
 func (p *Problem) SetInterrupt(check func() bool) { p.interrupt = check }
 
+// SetHints installs warm-start hints (copied): for each variable v with
+// assign[v] != NoHint, the search tries that value first, then the rest
+// of the domain in ascending order. Hints only reorder value selection —
+// they never change satisfiability, step accounting discipline, or
+// determinism (the order is a pure function of the hints and domains).
+// Entries beyond the current variable count apply to variables created
+// later; missing entries mean NoHint. nil clears all hints.
+func (p *Problem) SetHints(assign []int) {
+	if assign == nil {
+		p.hints = nil
+		return
+	}
+	p.hints = append(p.hints[:0], assign...)
+}
+
 // Steps reports how many assignments the last Solve attempted.
 func (p *Problem) Steps() int { return p.steps }
+
+// HintsTried reports how many variables had a hint during the last
+// successful Solve; zero when no hints were set or the solve failed.
+func (p *Problem) HintsTried() int { return p.hintsTried }
+
+// HintHits reports how many hinted variables kept their hint value in
+// the last successful Solve's solution — the warm-start hit count.
+func (p *Problem) HintHits() int { return p.hintHits }
+
+// hintFor returns v's warm-start hint, if any.
+func (p *Problem) hintFor(v Var) (int, bool) {
+	if p.hints == nil || int(v) >= len(p.hints) || p.hints[v] == NoHint {
+		return 0, false
+	}
+	return p.hints[v], true
+}
 
 // ErrUnsat is returned when the problem has no solution.
 type ErrUnsat struct{ Reason string }
@@ -110,25 +168,73 @@ func (e *ErrInterrupted) Error() string {
 	return fmt.Sprintf("csp: search interrupted after %d steps", e.Steps)
 }
 
+// Scratch holds reusable solver buffers. Shrink-pass probe solves build
+// a fresh Problem per probe but recycle one Scratch across all of them,
+// keeping the assignment, bookkeeping, and trail allocations out of the
+// placement hot loop. The zero value is ready for use; a Scratch must
+// not be shared between concurrent solves.
+type Scratch struct {
+	assign   []int
+	assigned []bool
+	trail    []trailEntry
+}
+
+// grow sizes the buffers for n variables, reusing capacity.
+func (sc *Scratch) grow(n int) {
+	if cap(sc.assign) < n {
+		sc.assign = make([]int, n)
+	}
+	sc.assign = sc.assign[:n]
+	if cap(sc.assigned) < n {
+		sc.assigned = make([]bool, n)
+	}
+	sc.assigned = sc.assigned[:n]
+	for i := range sc.assigned {
+		sc.assigned[i] = false
+	}
+	sc.trail = sc.trail[:0]
+}
+
 // Solve finds an assignment satisfying all constraints, or fails with
 // *ErrUnsat / *ErrLimit. The search is deterministic.
 func (p *Problem) Solve() ([]int, error) {
+	return p.SolveScratch(nil)
+}
+
+// SolveScratch is Solve with caller-provided scratch buffers (nil is
+// allowed and allocates fresh ones). The returned assignment is always a
+// private copy, so reusing sc for a later solve never clobbers it.
+func (p *Problem) SolveScratch(sc *Scratch) ([]int, error) {
 	if p.maxSteps == 0 {
 		p.maxSteps = 2_000_000
 	}
 	p.steps = 0
 	p.interrupted = false
+	p.hintsTried, p.hintHits = 0, 0
 	// Empty domains are unsatisfiable before search starts.
 	for i, d := range p.domains {
 		if d.size == 0 {
 			return nil, &ErrUnsat{Reason: fmt.Sprintf("variable %s has empty domain", p.names[i])}
 		}
 	}
-	assign := make([]int, len(p.domains))
-	assigned := make([]bool, len(p.domains))
-	var trail []trailEntry
-	if p.search(assign, assigned, &trail) {
-		return assign, nil
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.grow(len(p.domains))
+	if p.search(sc.assign, sc.assigned, &sc.trail) {
+		out := make([]int, len(sc.assign))
+		copy(out, sc.assign)
+		if p.hints != nil {
+			for v := range out {
+				if hint, ok := p.hintFor(Var(v)); ok {
+					p.hintsTried++
+					if out[v] == hint {
+						p.hintHits++
+					}
+				}
+			}
+		}
+		return out, nil
 	}
 	if p.interrupted {
 		return nil, &ErrInterrupted{Steps: p.steps}
@@ -150,35 +256,59 @@ func (p *Problem) search(assign []int, assigned []bool, trail *[]trailEntry) boo
 		return true // all assigned
 	}
 	d := p.domains[v]
-	// Snapshot the live values: assignment mutates domains underneath us.
-	vals := make([]int, d.size)
-	copy(vals, d.vals[:d.size])
-	sort.Ints(vals) // deterministic low-first packing regardless of pruning order
-
-	for _, val := range vals {
-		if p.steps >= p.maxSteps || p.interrupted {
-			return false
+	// Iterate the presorted full domain, skipping values pruned from the
+	// live set. No value can be pruned from v's own domain while v is the
+	// variable being assigned (undo restores all propagation effects
+	// between tries), so the live values seen here are exactly the live
+	// set at node entry — the same values, in the same ascending order,
+	// the old per-node snapshot-and-sort produced, with identical step
+	// accounting and zero allocation.
+	hint, hasHint := p.hintFor(v)
+	if hasHint && d.has(hint) {
+		if done, solved := p.tryValue(v, hint, assign, assigned, trail); done {
+			return solved
 		}
-		p.steps++
-		if p.interrupt != nil && p.steps%interruptStride == 0 && p.interrupt() {
-			p.interrupted = true
-			return false
+	} else {
+		hasHint = false
+	}
+	for _, val := range d.sorted {
+		if hasHint && val == hint {
+			continue // already tried first
 		}
 		if !d.has(val) {
 			continue
 		}
-		mark := len(*trail)
-		assign[v] = val
-		assigned[v] = true
-		if p.propagate(v, val, assigned, trail) {
-			if p.search(assign, assigned, trail) {
-				return true
-			}
+		if done, solved := p.tryValue(v, val, assign, assigned, trail); done {
+			return solved
 		}
-		assigned[v] = false
-		p.undo(trail, mark)
 	}
 	return false
+}
+
+// tryValue attempts one assignment v=val: it counts the step, polls the
+// budget and interrupt, propagates, and recurses. done means the search
+// below this node is finished — either solved, or aborted by the step
+// limit / interrupt; !done means backtrack and try the next value.
+func (p *Problem) tryValue(v Var, val int, assign []int, assigned []bool, trail *[]trailEntry) (done, solved bool) {
+	if p.steps >= p.maxSteps || p.interrupted {
+		return true, false
+	}
+	p.steps++
+	if p.interrupt != nil && p.steps%interruptStride == 0 && p.interrupt() {
+		p.interrupted = true
+		return true, false
+	}
+	mark := len(*trail)
+	assign[v] = val
+	assigned[v] = true
+	if p.propagate(v, val, assigned, trail) {
+		if p.search(assign, assigned, trail) {
+			return true, true
+		}
+	}
+	assigned[v] = false
+	p.undo(trail, mark)
+	return false, false
 }
 
 // pickVar selects the unassigned variable with the smallest live domain.
@@ -220,7 +350,8 @@ func (p *Problem) propagate(v Var, val int, assigned []bool, trail *[]trailEntry
 		}
 	}
 	// Binary constraints: filter neighbor domains.
-	for _, bc := range p.adj[v] {
+	for i := range p.adj[v] {
+		bc := &p.adj[v][i]
 		w := bc.to
 		if assigned[w] {
 			continue
@@ -228,7 +359,7 @@ func (p *Problem) propagate(v Var, val int, assigned []bool, trail *[]trailEntry
 		d := p.domains[w]
 		// Iterate backwards over the live prefix so removals are safe.
 		for i := d.size - 1; i >= 0; i-- {
-			if !bc.allow(val, d.vals[i]) {
+			if !bc.holds(val, d.vals[i]) {
 				p.removeAt(w, i, trail)
 			}
 		}
@@ -267,19 +398,24 @@ func (p *Problem) undo(trail *[]trailEntry, mark int) {
 }
 
 // domain is a set of ints with O(1) removal and restoration via the
-// swap-to-back trick.
+// swap-to-back trick. sorted is the full domain in ascending order,
+// computed once at construction: the search walks it (skipping pruned
+// values) instead of snapshotting and sorting the live set per node.
 type domain struct {
-	vals []int
-	idx  map[int]int
-	size int
+	vals   []int
+	sorted []int
+	idx    map[int]int
+	size   int
 }
 
 func newDomain(values []int) *domain {
 	d := &domain{
-		vals: append([]int(nil), values...),
-		idx:  make(map[int]int, len(values)),
-		size: len(values),
+		vals:   append([]int(nil), values...),
+		sorted: append([]int(nil), values...),
+		idx:    make(map[int]int, len(values)),
+		size:   len(values),
 	}
+	sort.Ints(d.sorted)
 	for i, v := range d.vals {
 		d.idx[v] = i
 	}

@@ -149,6 +149,33 @@ func (s *StageTimes) Add(o StageTimes) {
 	s.Timing += o.Timing
 }
 
+// PlaceStats carries the placement solver's work counters. They ride on
+// every Artifact, sum across batches (batch.Stats) and the service's
+// cumulative /stats, and land in the bench JSON — the same counters at
+// every layer, so a solver regression is visible wherever you look.
+type PlaceStats struct {
+	// SolverSteps totals CSP search steps across all solver invocations.
+	SolverSteps int
+	// ShrinkProbes counts shrink-pass probes that ran the solver.
+	ShrinkProbes int
+	// ProbesSkipped counts shrink probes answered by revalidating the
+	// previous solution against the tightened bound — no solver run.
+	ProbesSkipped int
+	// HintHits / HintTried measure the warm start: across successful
+	// probe solves, HintTried variables carried their previous anchor as
+	// a hint and HintHits kept it.
+	HintHits, HintTried int
+}
+
+// Add accumulates another compilation's counters, for batch totals.
+func (p *PlaceStats) Add(o PlaceStats) {
+	p.SolverSteps += o.SolverSteps
+	p.ShrinkProbes += o.ShrinkProbes
+	p.ProbesSkipped += o.ProbesSkipped
+	p.HintHits += o.HintHits
+	p.HintTried += o.HintTried
+}
+
 // Artifact is a completed compilation.
 type Artifact struct {
 	// IR is the source program.
@@ -176,8 +203,11 @@ type Artifact struct {
 	Stages StageTimes
 	// CascadeChains counts chains rewritten by the layout optimizer.
 	CascadeChains int
-	// SolverSteps counts placement search steps.
+	// SolverSteps counts placement search steps (kept alongside
+	// Place.SolverSteps for existing callers).
 	SolverSteps int
+	// Place carries the full placement solver counters.
+	Place PlaceStats
 
 	// Degraded reports a budget-truncated placement: either placement
 	// fell back to the greedy first-fit placer after the CSP solver
@@ -271,7 +301,7 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		SolverTimeout: cfg.SolverTimeout,
 	}
 	var placedFn *asm.Func
-	var solverSteps int
+	var placeStats PlaceStats
 	degraded := false
 	degradedReason := ""
 	if cfg.TimingDriven {
@@ -283,6 +313,13 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 			return nil, fmt.Errorf("reticle: placement: %w", err)
 		}
 		placedFn = ref.Placed
+		placeStats = PlaceStats{
+			SolverSteps:   ref.SolverSteps,
+			ShrinkProbes:  ref.ShrinkProbes,
+			ProbesSkipped: ref.ProbesSkipped,
+			HintHits:      ref.HintHits,
+			HintTried:     ref.HintTried,
+		}
 		degraded, degradedReason = ref.Degraded, ref.DegradedReason
 	} else {
 		placed, err := place.PlaceContext(ctx, af, cfg.Device, popts)
@@ -290,7 +327,13 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 			return nil, fmt.Errorf("reticle: placement: %w", err)
 		}
 		placedFn = placed.Fn
-		solverSteps = placed.SolverSteps
+		placeStats = PlaceStats{
+			SolverSteps:   placed.SolverSteps,
+			ShrinkProbes:  placed.ShrinkIters,
+			ProbesSkipped: placed.ProbesSkipped,
+			HintHits:      placed.HintHits,
+			HintTried:     placed.HintTried,
+		}
 		degraded, degradedReason = placed.Degraded, placed.DegradedReason
 	}
 	stages.Place = time.Since(tp)
@@ -332,7 +375,8 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		CompileDur:     dur,
 		Stages:         stages,
 		CascadeChains:  chains,
-		SolverSteps:    solverSteps,
+		SolverSteps:    placeStats.SolverSteps,
+		Place:          placeStats,
 		Degraded:       degraded,
 		DegradedReason: degradedReason,
 	}, nil

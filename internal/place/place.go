@@ -63,7 +63,17 @@ type Result struct {
 	// SolverSteps totals search steps across all solver invocations.
 	SolverSteps int
 	// ShrinkIters counts shrink-pass solver re-runs (0 when disabled).
+	// Probes answered by revalidation alone are not included — they are
+	// counted in ProbesSkipped.
 	ShrinkIters int
+	// ProbesSkipped counts shrink probes whose tightened bound was
+	// already satisfied by the previous solution: the revalidate fast
+	// path answered them with an O(clusters²) check, no solver run.
+	ProbesSkipped int
+	// HintHits and HintTried measure the warm start: across successful
+	// probe solves, HintTried variables carried a hint (their previous
+	// anchor) and HintHits of them kept it in the new solution.
+	HintHits, HintTried int
 	// MaxX and MaxY record the final per-primitive bounding box.
 	MaxX, MaxY map[ir.Resource]int
 	// Degraded reports a budget-truncated placement: either the CSP
@@ -205,6 +215,8 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 		}
 	}
 	shrinkIters := 0
+	probesSkipped := 0
+	hintHits, hintTried := 0, 0
 	bounds := full
 	interrupted := false
 	var interruptCause error
@@ -221,22 +233,44 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 			interrupted = true
 			interruptCause = ferr
 		}
+		// Probe solves recycle one scratch across the whole pass and
+		// cover only the probed primitive's clusters (constraints never
+		// couple primitives), warm-started from the current solution.
+		var scratch csp.Scratch
 		for _, prim := range []ir.Resource{ir.ResDsp, ir.ResLut} {
 			if counts[prim] == 0 || interrupted {
 				continue
 			}
+			subset := primSubset(clusters, prim)
 			for _, axis := range []int{1, 0} { // rows first, then columns
-				lo := shrinkFloor(clusters, bounds, prim, axis)
-				hi := usedExtent(dev, clusters, sol, prim, axis) + 1
-				best := hi
+				lo := shrinkFloor(clusters, dev, bounds, prim, axis)
+				best := bounds[prim][axis]
+				// The first probe goes straight to the packing floor: when
+				// the floor is tight (common for dense macro chains) one
+				// probe — often answered by revalidation alone — settles
+				// the axis, and the old infeasible binary-search probes
+				// that burned the full step budget never run.
+				first := true
 				for lo < best {
-					mid := (lo + best) / 2
+					mid := lo
+					if !first {
+						mid = (lo + best) / 2
+					}
+					first = false
 					probe := cloneBounds(bounds)
 					b := probe[prim]
 					b[axis] = mid
 					probe[prim] = b
-					s2, st, err := solve(clusters, dev, probe, probeSteps, interrupt)
-					totalSteps += st
+					// Revalidate-before-solve fast path: if the current
+					// solution already fits the tightened bound, the probe
+					// is answered without touching the solver.
+					if revalidate(clusters, dev, sol, probe) {
+						probesSkipped++
+						best = usedExtent(dev, clusters, sol, prim, axis) + 1
+						continue
+					}
+					s2, st, err := solveSubset(clusters, subset, dev, probe, probeSteps, interrupt, sol, &scratch)
+					totalSteps += st.steps
 					shrinkIters++
 					var intr *csp.ErrInterrupted
 					if errors.As(err, &intr) {
@@ -249,9 +283,19 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 					}
 					if err == nil {
 						sol = s2
-						best = mid
+						hintHits += st.hintHits
+						hintTried += st.hintsTried
+						// Clamp to what the probe actually used: the solver
+						// packs low-first, so the solution is often tighter
+						// than the bound it was asked for, and the probes
+						// between its extent and mid would be redundant.
+						best = usedExtent(dev, clusters, sol, prim, axis) + 1
 					} else {
 						lo = mid + 1
+						// The current solution is a known-feasible bound.
+						if e := usedExtent(dev, clusters, sol, prim, axis) + 1; e < best {
+							best = e
+						}
 					}
 				}
 				b := bounds[prim]
@@ -283,6 +327,9 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 	res := writeBack(f, dev, clusters, sol)
 	res.SolverSteps = totalSteps
 	res.ShrinkIters = shrinkIters
+	res.ProbesSkipped = probesSkipped
+	res.HintHits = hintHits
+	res.HintTried = hintTried
 	if interrupted {
 		res.Degraded = true
 		res.DegradedReason = fmt.Sprintf(
@@ -470,10 +517,50 @@ func makeCluster(group []placeInfo) (*cluster, error) {
 	return c, nil
 }
 
-// solve runs one CSP over the given per-primitive bounds, returning the
-// anchor slice id chosen for each cluster. interrupt (nil = never) is
-// polled mid-search so deadlines abort long solves promptly.
+// solve runs one CSP over every cluster under the given per-primitive
+// bounds, returning the anchor slice id chosen for each cluster.
+// interrupt (nil = never) is polled mid-search so deadlines abort long
+// solves promptly.
 func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int, interrupt func() bool) ([]int, int, error) {
+	sol, st, err := solveSubset(clusters, nil, dev, bounds, maxSteps, interrupt, nil, nil)
+	return sol, st.steps, err
+}
+
+// solveStats carries per-solve counters out of solveSubset.
+type solveStats struct {
+	steps      int
+	hintsTried int
+	hintHits   int
+}
+
+// primSubset lists the indices of clusters on the given primitive.
+func primSubset(clusters []*cluster, prim ir.Resource) []int {
+	var subset []int
+	for ci, c := range clusters {
+		if c.prim == prim {
+			subset = append(subset, ci)
+		}
+	}
+	return subset
+}
+
+// solveSubset runs one CSP over the clusters listed in subset (nil = all)
+// under the given per-primitive bounds. prev, when non-nil, is a
+// full-length anchor solution used two ways: subset members take their
+// previous anchor as a deterministic warm-start hint, and clusters
+// outside the subset inherit prev's anchors unchanged in the returned
+// solution — sound because no placement constraint couples clusters of
+// different primitives (shared coordinate variables across primitives
+// are rejected by makeCluster, and all-different groups and non-overlap
+// pairs are per-primitive). sc, when non-nil, recycles solver buffers
+// across probe solves.
+func solveSubset(clusters []*cluster, subset []int, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int, interrupt func() bool, prev []int, sc *csp.Scratch) ([]int, solveStats, error) {
+	if subset == nil {
+		subset = make([]int, len(clusters))
+		for ci := range clusters {
+			subset[ci] = ci
+		}
+	}
 	var p csp.Problem
 	if maxSteps > 0 {
 		p.SetMaxSteps(maxSteps)
@@ -482,22 +569,32 @@ func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]in
 		p.SetInterrupt(interrupt)
 	}
 	vars := make([]csp.Var, len(clusters))
+	inSubset := make([]bool, len(clusters))
 	singles := map[ir.Resource][]csp.Var{}
 	var macros []int
+	var hints []int
 
-	for ci, c := range clusters {
+	for _, ci := range subset {
+		c := clusters[ci]
+		inSubset[ci] = true
 		dom := anchorDomain(dev, c, bounds[c.prim])
 		if len(dom) == 0 {
-			return nil, 0, &csp.ErrUnsat{Reason: fmt.Sprintf(
+			return nil, solveStats{}, &csp.ErrUnsat{Reason: fmt.Sprintf(
 				"cluster at %s has no feasible anchor within bounds %dx%d on %s",
 				c.members[0].dest, bounds[c.prim][0], bounds[c.prim][1], c.prim)}
 		}
 		vars[ci] = p.NewVar(c.members[0].dest, dom)
+		if prev != nil {
+			hints = append(hints, prev[ci])
+		}
 		if c.singleton() && c.members[0].xoff == 0 && c.members[0].yoff == 0 {
 			singles[c.prim] = append(singles[c.prim], vars[ci])
 		} else {
 			macros = append(macros, ci)
 		}
+	}
+	if prev != nil {
+		p.SetHints(hints)
 	}
 	// Register groups in fixed primitive order: solver behavior must not
 	// depend on map iteration, so parallel batch output stays
@@ -511,7 +608,8 @@ func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]in
 	height := dev.Height
 	for _, mi := range macros {
 		mc := clusters[mi]
-		for cj, oc := range clusters {
+		for _, cj := range subset {
+			oc := clusters[cj]
 			if cj == mi || oc.prim != mc.prim {
 				continue
 			}
@@ -524,15 +622,63 @@ func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]in
 			})
 		}
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveScratch(sc)
+	st := solveStats{steps: p.Steps()}
 	if err != nil {
-		return nil, p.Steps(), err
+		return nil, st, err
 	}
+	st.hintsTried = p.HintsTried()
+	st.hintHits = p.HintHits()
 	out := make([]int, len(clusters))
-	for ci := range clusters {
-		out[ci] = sol[vars[ci]]
+	if prev != nil {
+		copy(out, prev)
 	}
-	return out, p.Steps(), nil
+	for ci := range clusters {
+		if inSubset[ci] {
+			out[ci] = sol[vars[ci]]
+		}
+	}
+	return out, st, nil
+}
+
+// revalidate reports whether an existing full solution already satisfies
+// the (tightened) bounds: every member inside its primitive's bounds and
+// the device, and no two same-primitive clusters overlapping — the same
+// predicates the satcheck oracle applies, reduced to cluster form. The
+// check is O(clusters²) with bounding-box rejection, orders of magnitude
+// cheaper than a solver probe, and lets the shrink pass skip the solver
+// whenever a probe only confirms what the current layout already proves.
+func revalidate(clusters []*cluster, dev *device.Device, sol []int, bounds map[ir.Resource][2]int) bool {
+	for ci, c := range clusters {
+		ax, ay := dev.SliceCoords(sol[ci])
+		b := bounds[c.prim]
+		maxX, maxY := b[0], b[1]
+		if n := dev.NumCols(c.prim); maxX > n {
+			maxX = n
+		}
+		if maxY > dev.Height {
+			maxY = dev.Height
+		}
+		for _, m := range c.members {
+			x, y := ax+m.xoff, ay+m.yoff
+			if x < 0 || x >= maxX || y < 0 || y >= maxY {
+				return false
+			}
+		}
+	}
+	height := dev.Height
+	for i, a := range clusters {
+		for j := i + 1; j < len(clusters); j++ {
+			b := clusters[j]
+			if a.prim != b.prim {
+				continue
+			}
+			if clustersOverlap(a, b, sol[i], sol[j], height) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // anchorDomain enumerates the anchor slices keeping every member of the
@@ -596,11 +742,22 @@ func containsInt(xs []int, v int) bool {
 	return false
 }
 
-// shrinkFloor lower-bounds an axis during shrinking: no bound can beat the
-// tallest/widest cluster span, nor pack more members than area allows.
-func shrinkFloor(clusters []*cluster, bounds map[ir.Resource][2]int, prim ir.Resource, axis int) int {
+// shrinkFloor lower-bounds an axis during shrinking. Three sound bounds
+// compose: no bound can beat the tallest/widest cluster span, nor pack
+// more members than area allows, nor — the packing-aware strip bound —
+// stack more rigid strips than the cross-section holds. A cheap floor
+// that is also tight lets the shrink pass probe it first and settle the
+// axis in one probe instead of binary-searching through bounds the
+// solver must expensively prove infeasible (each such proof used to burn
+// the full probe step budget).
+func shrinkFloor(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, prim ir.Resource, axis int) int {
 	floor := 1
 	count := 0
+	// Strip decomposition: within a cluster, members sharing the same
+	// other-axis offset are a rigid strip of that length along the probed
+	// axis — they occupy that many distinct cells of one column (row).
+	var strips []int
+	stripOf := map[int]int{}
 	for _, c := range clusters {
 		if c.prim != prim {
 			continue
@@ -613,12 +770,50 @@ func shrinkFloor(clusters []*cluster, bounds map[ir.Resource][2]int, prim ir.Res
 		if span > floor {
 			floor = span
 		}
+		for k := range stripOf {
+			delete(stripOf, k)
+		}
+		for _, m := range c.members {
+			other := m.xoff
+			if axis == 0 {
+				other = m.yoff
+			}
+			stripOf[other]++
+		}
+		for _, n := range stripOf {
+			strips = append(strips, n)
+		}
 	}
-	// Area bound: members must fit within bound * other-axis extent.
+	// Cross-section width: the other axis's current bound, clamped to
+	// the device.
 	other := bounds[prim][1-axis]
+	if lim := dev.Height; axis == 0 && other > lim {
+		other = lim
+	}
+	if lim := dev.NumCols(prim); axis == 1 && other > lim {
+		other = lim
+	}
 	if other > 0 {
+		// Area bound: members must fit within bound * other-axis extent.
 		if byArea := (count + other - 1) / other; byArea > floor {
 			floor = byArea
+		}
+		// Strip bound: a bound B offers floor(B/t) slots per column for
+		// strips of length >= t, so across `other` columns feasibility
+		// needs floor(B/t)*other >= N_t for every strip length t, where
+		// N_t counts strips of length >= t. Solving for B per distinct t
+		// gives B >= t*ceil(N_t/other); the floor is the max. This is a
+		// relaxation (it ignores cross-axis rigidity), so it never
+		// exceeds the true minimum feasible bound.
+		sort.Sort(sort.Reverse(sort.IntSlice(strips)))
+		for i, t := range strips {
+			if t <= 1 {
+				break // length-1 strips are covered by the area bound
+			}
+			nt := i + 1 // strips are sorted descending: strips[0..i] >= t
+			if byStrip := t * ((nt + other - 1) / other); byStrip > floor {
+				floor = byStrip
+			}
 		}
 	}
 	return floor

@@ -45,6 +45,15 @@ type Result struct {
 	AfterNs  float64
 	// Moves counts accepted relocations.
 	Moves int
+	// SolverSteps, ShrinkProbes, ProbesSkipped, HintHits, and HintTried
+	// propagate the placement solver's work counters (see place.Result;
+	// ShrinkProbes is place.Result.ShrinkIters) so the timing-driven path
+	// reports them like the plain path does.
+	SolverSteps   int
+	ShrinkProbes  int
+	ProbesSkipped int
+	HintHits      int
+	HintTried     int
 	// Degraded and DegradedReason propagate the placement stage's
 	// greedy-fallback marker (see place.Result).
 	Degraded       bool
@@ -111,6 +120,8 @@ func PlaceContext(ctx context.Context, f *asm.Func, target *tdl.Target, dev *dev
 	}
 	out := &Result{
 		Placed: cur, BeforeNs: rep.CriticalNs, AfterNs: rep.CriticalNs,
+		SolverSteps: res.SolverSteps, ShrinkProbes: res.ShrinkIters,
+		ProbesSkipped: res.ProbesSkipped, HintHits: res.HintHits, HintTried: res.HintTried,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
 	}
 

@@ -44,6 +44,15 @@ type ArtifactJSON struct {
 	CascadeChains int        `json:"cascade_chains"`
 	SolverSteps   int        `json:"solver_steps"`
 
+	// Shrink-pass solver counters (see pipeline.PlaceStats): probes that
+	// ran the solver, probes answered by revalidating the previous
+	// solution, and warm-start hint effectiveness. Zero (omitted) for
+	// configs without Shrink.
+	ShrinkProbes  int `json:"shrink_probes,omitempty"`
+	ProbesSkipped int `json:"probes_skipped,omitempty"`
+	HintHits      int `json:"hint_hits,omitempty"`
+	HintTried     int `json:"hint_tried,omitempty"`
+
 	// Degraded marks an artifact placed by the greedy fallback after the
 	// solver exhausted its budget: valid (satcheck-verified) but
 	// unoptimized, and never served from cache. DegradedReason says which
@@ -195,6 +204,17 @@ type CacheStatsJSON struct {
 	HitRate    float64 `json:"hit_rate"`
 }
 
+// PlaceStatsJSON is the cumulative placement-solver section of GET
+// /stats: totals across every compiled kernel (cache hits excluded,
+// like Stages).
+type PlaceStatsJSON struct {
+	SolverSteps   int `json:"solver_steps"`
+	ShrinkProbes  int `json:"shrink_probes"`
+	ProbesSkipped int `json:"probes_skipped"`
+	HintHits      int `json:"hint_hits"`
+	HintTried     int `json:"hint_tried"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	Requests        int64          `json:"requests"`
@@ -204,6 +224,7 @@ type StatsResponse struct {
 	Families        []string       `json:"families"`
 	Cache           CacheStatsJSON `json:"cache"`
 	Stages          StagesJSON     `json:"stages"`
+	Place           PlaceStatsJSON `json:"place"`
 }
 
 // artifactJSON renders an artifact for the wire.
@@ -222,8 +243,23 @@ func artifactJSON(a *pipeline.Artifact) ArtifactJSON {
 		Stages:         stageJSON(a.Stages),
 		CascadeChains:  a.CascadeChains,
 		SolverSteps:    a.SolverSteps,
+		ShrinkProbes:   a.Place.ShrinkProbes,
+		ProbesSkipped:  a.Place.ProbesSkipped,
+		HintHits:       a.Place.HintHits,
+		HintTried:      a.Place.HintTried,
 		Degraded:       a.Degraded,
 		DegradedReason: a.DegradedReason,
+	}
+}
+
+// placeJSON renders cumulative placement counters for the wire.
+func placeJSON(ps pipeline.PlaceStats) PlaceStatsJSON {
+	return PlaceStatsJSON{
+		SolverSteps:   ps.SolverSteps,
+		ShrinkProbes:  ps.ShrinkProbes,
+		ProbesSkipped: ps.ProbesSkipped,
+		HintHits:      ps.HintHits,
+		HintTried:     ps.HintTried,
 	}
 }
 

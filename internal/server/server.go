@@ -99,6 +99,7 @@ type Server struct {
 
 	stageMu sync.Mutex
 	stages  pipeline.StageTimes // cumulative, compiled kernels only
+	place   pipeline.PlaceStats // cumulative placement solver counters
 }
 
 // onCompileStart, when non-nil, is invoked as a kernel enters the
@@ -353,6 +354,7 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 		}
 		s.stageMu.Lock()
 		s.stages.Add(art.Stages)
+		s.place.Add(art.Place)
 		s.stageMu.Unlock()
 		return render(art), nil
 	}, keep)
@@ -562,6 +564,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		s.stageMu.Lock()
 		s.stages.Add(stats.Stages)
+		s.place.Add(stats.Place)
 		s.stageMu.Unlock()
 	}
 
@@ -621,6 +624,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cs := s.cache.Stats()
 	s.stageMu.Lock()
 	st := s.stages
+	ps := s.place
 	s.stageMu.Unlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Requests:        s.requests.Load(),
@@ -640,6 +644,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			HitRate:    cs.HitRate(),
 		},
 		Stages: stageJSON(st),
+		Place:  placeJSON(ps),
 	})
 }
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# bench_compare.sh — diff two BENCH_<sha>.json baselines and fail on a
+# >20% regression in placement-stage metrics.
+#
+# The placement benchmarks (BenchmarkPlaceShrink, internal/csp
+# BenchmarkSolve*) report solver-steps, shrink-probes, steps-per-probe,
+# and place-ns as custom metrics; this compares those plus ns_per_op
+# against the base baseline via cmd/reticle-benchcompare. Higher-is-
+# better metrics (hint-hit-rate, probes-skipped) are reported but never
+# fail the check.
+#
+# Usage: scripts/bench_compare.sh base.json head.json [threshold]
+#
+# Exit: 0 no regression (or base file missing -- comparison is advisory,
+# so an absent base skips rather than fails), 1 regression, 2 usage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+  echo "usage: scripts/bench_compare.sh base.json head.json [threshold]" >&2
+  exit 2
+fi
+base="$1"
+head="$2"
+threshold="${3:-0.20}"
+
+if [ ! -f "$base" ]; then
+  echo "bench_compare: base baseline $base not found; skipping comparison"
+  exit 0
+fi
+if [ ! -f "$head" ]; then
+  echo "bench_compare: head baseline $head not found" >&2
+  exit 2
+fi
+
+go run ./cmd/reticle-benchcompare -threshold "$threshold" "$base" "$head"
