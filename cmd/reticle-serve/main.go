@@ -6,7 +6,7 @@
 // Usage:
 //
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
-//	              [-max-inflight 0]
+//	              [-max-inflight 0] [-disk DIR] [-disk-bytes N]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
@@ -42,6 +42,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
 	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent compile/batch requests before shedding 429s (0 = unlimited)")
+	diskDir := flag.String("disk", "", "persistent second-level artifact cache directory (empty = disabled)")
+	diskBytes := flag.Int64("disk-bytes", 0, "disk cache size bound in bytes (0 = default)")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
@@ -50,6 +52,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		Jobs:           *jobs,
 		MaxInFlight:    *maxInFlight,
+		DiskDir:        *diskDir,
+		DiskMaxBytes:   *diskBytes,
 	})
 	if err != nil {
 		log.Fatal("reticle-serve: ", err)

@@ -58,6 +58,14 @@ type Options struct {
 	// negatives are rejected (ErrInvalidRetries). Each retry backs off
 	// with capped exponential delay plus deterministic jitter.
 	Retries int
+	// OnResult, when non-nil, is invoked with each kernel's Result as its
+	// worker finishes it — before Compile returns, in completion order,
+	// possibly concurrently from several workers. The streaming /batch
+	// tier uses it to flush results as they complete instead of buffering
+	// the whole sweep. Kernels the cancelled dispatch loop never handed
+	// to a worker are not delivered through OnResult; they appear only in
+	// the returned slice.
+	OnResult func(Result)
 }
 
 // DefaultRetries is the transient-failure retry budget applied when
@@ -178,6 +186,9 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 				defer wg.Done()
 				for i := range idx {
 					results[i] = compileOne(ctx, cfg, jobs[i], i, opts.KernelTimeout, retries)
+					if opts.OnResult != nil {
+						opts.OnResult(results[i])
+					}
 				}
 			}()
 		}

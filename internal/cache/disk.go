@@ -1,0 +1,373 @@
+// Disk is the persistent second-level artifact cache behind the
+// in-memory LRU: a content-addressed directory of artifact files keyed
+// by the same schema as the in-memory tier (cache.Key — canonical IR
+// hash + config fingerprint), bounded by total bytes with LRU eviction,
+// and durable across process restarts.
+//
+// Durability contract:
+//
+//   - Writes are atomic: each artifact is written to a temp file in the
+//     cache root and renamed into place, so a crash mid-write can leave
+//     a stray *.tmp (swept on the next Open) but never a truncated
+//     artifact under a live name.
+//   - Reads verify an embedded header (magic + full key) before serving
+//     a byte, so a corrupt or foreign file is evicted and reported as a
+//     miss, never served as a wrong answer.
+//   - Recency survives restarts approximately: Get refreshes the file
+//     mtime, and Open rebuilds the LRU in mtime order before enforcing
+//     the byte bound.
+//
+// Failure semantics match the rest of the cache tier: the disk cache is
+// an optimization, so a read error degrades to a miss and a write error
+// is reported to the caller to count, not to fail the compile that
+// produced the artifact. Degraded artifacts are the caller's problem —
+// the service tier never persists them, mirroring the in-memory keep
+// predicate.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"reticle/internal/faults"
+	"reticle/internal/rerr"
+)
+
+// Fault points in the disk tier, for the chaos suites: an armed
+// disk-read fault must degrade to a cache miss (the request still
+// compiles), and an armed disk-write fault must not fail the compile
+// that produced the artifact.
+var (
+	// FaultDiskRead fires at the top of Disk.Get, before the index lookup.
+	FaultDiskRead = faults.Register("cache/disk-read", "disk cache read path: degrade to a miss")
+	// FaultDiskWrite fires at the top of Disk.Put, before the temp write.
+	FaultDiskWrite = faults.Register("cache/disk-write", "disk cache write path: drop the persist, keep the compile")
+)
+
+// DefaultDiskBytes bounds the disk cache when OpenDisk is given a
+// non-positive budget.
+const DefaultDiskBytes int64 = 256 << 20
+
+// diskMagic heads every artifact file; a file without it (foreign,
+// truncated, corrupt) is evicted on read instead of served.
+const diskMagic = "RTDC1\n"
+
+// artExt is the artifact file suffix; everything else in the root is
+// ignored (and *.tmp leftovers are swept on Open).
+const artExt = ".art"
+
+// DiskStats is a point-in-time snapshot of disk-cache counters. Entries,
+// Bytes, and MaxBytes describe occupancy; the uint64s count operations
+// since Open (they do not survive restarts — only the artifacts do).
+type DiskStats struct {
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	// Hits / Misses count Get outcomes.
+	Hits, Misses uint64
+	// Writes counts successful Puts; WriteErrors counts failed ones
+	// (including injected cache/disk-write faults).
+	Writes, WriteErrors uint64
+	// ReadErrors counts Gets that found an entry but could not serve it
+	// (I/O error, corruption, injected fault); each also counts as a miss.
+	ReadErrors uint64
+	// Evictions counts entries dropped by the byte bound.
+	Evictions uint64
+}
+
+// diskEntry is one resident artifact file in the LRU index.
+type diskEntry struct {
+	name string // file name under root
+	size int64
+}
+
+// Disk is the persistent second-level cache. All methods are safe for
+// concurrent use; the index mutex is held across file I/O, which keeps
+// the write-temp-then-rename and eviction sequences atomic with respect
+// to each other (disk operations are rare next to compiles, so the
+// serialization is not a hot path).
+type Disk struct {
+	mu    sync.Mutex
+	root  string
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, writes, writeErrors, readErrors, evictions uint64
+}
+
+// OpenDisk opens (creating if needed) a disk cache rooted at dir,
+// bounded to maxBytes (DefaultDiskBytes if <= 0). Stray temp files from
+// a crashed writer are removed, the LRU index is rebuilt from file
+// mtimes (oldest least recent), and the byte bound is enforced before
+// returning — so a cache shrunk between runs converges immediately.
+func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cache: disk root must be non-empty")
+	}
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk root: %w", err)
+	}
+	d := &Disk{
+		root:  dir,
+		max:   maxBytes,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk scan: %w", err)
+	}
+	type scanned struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between temp write and rename leaves these; they are
+			// garbage by construction.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, artExt) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{name: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	// Oldest first, so the newest file ends at the LRU front. Ties break
+	// by name so a rebuild is deterministic.
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].name < found[j].name
+	})
+	for _, f := range found {
+		d.items[f.name] = d.ll.PushFront(&diskEntry{name: f.name, size: f.size})
+		d.bytes += f.size
+	}
+	d.evictLocked()
+	return d, nil
+}
+
+// Root returns the cache directory.
+func (d *Disk) Root() string { return d.root }
+
+// diskFileName derives the artifact file name for a key. Real keys are
+// lowercase-hex SHA-256 strings and keep their own name (readable for
+// operators); anything else — arbitrary bytes, path fragments, the
+// empty string — is replaced by the hex SHA-256 of the key, prefixed
+// "x" so the two classes can never collide (hex names never start with
+// "x"). Either way the result is a single path component of hex
+// characters: it cannot escape the cache root, and distinct keys map to
+// distinct names. Get additionally verifies the full key embedded in
+// the file, so even a hash collision surfaces as a miss, never as a
+// wrong artifact.
+func diskFileName(key Key) string {
+	s := string(key)
+	if n := len(s); n >= 8 && n <= 128 && isLowerHex(s) {
+		return s + artExt
+	}
+	sum := sha256.Sum256([]byte(s))
+	return "x" + hex.EncodeToString(sum[:]) + artExt
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeDiskFile frames an artifact for disk: magic, big-endian key
+// length, key bytes, payload.
+func encodeDiskFile(key Key, data []byte) []byte {
+	buf := make([]byte, 0, len(diskMagic)+4+len(key)+len(data))
+	buf = append(buf, diskMagic...)
+	var klen [4]byte
+	binary.BigEndian.PutUint32(klen[:], uint32(len(key)))
+	buf = append(buf, klen[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, data...)
+	return buf
+}
+
+// decodeDiskFile verifies the frame and the embedded key, returning the
+// payload.
+func decodeDiskFile(key Key, raw []byte) ([]byte, error) {
+	if len(raw) < len(diskMagic)+4 || string(raw[:len(diskMagic)]) != diskMagic {
+		return nil, fmt.Errorf("cache: disk file has no header")
+	}
+	rest := raw[len(diskMagic):]
+	klen := int(binary.BigEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if klen < 0 || klen > len(rest) {
+		return nil, fmt.Errorf("cache: disk file has truncated key")
+	}
+	if string(rest[:klen]) != string(key) {
+		return nil, fmt.Errorf("cache: disk file keyed for another artifact")
+	}
+	return rest[klen:], nil
+}
+
+// Get returns the persisted artifact bytes for key, if present and
+// intact. A read failure (I/O error, corruption, injected fault) evicts
+// the entry and reports a miss: the disk tier degrades, it never fails
+// a request. A hit refreshes both the in-memory LRU position and the
+// file mtime, so recency survives the next restart.
+func (d *Disk) Get(ctx context.Context, key Key) ([]byte, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := FaultDiskRead.Fire(ctx); err != nil {
+		d.readErrors++
+		d.misses++
+		return nil, false
+	}
+	name := diskFileName(key)
+	el, ok := d.items[name]
+	if !ok {
+		d.misses++
+		return nil, false
+	}
+	path := filepath.Join(d.root, name)
+	raw, err := os.ReadFile(path)
+	if err == nil {
+		var data []byte
+		data, err = decodeDiskFile(key, raw)
+		if err == nil {
+			d.ll.MoveToFront(el)
+			d.hits++
+			now := time.Now()
+			os.Chtimes(path, now, now) // best-effort recency persistence
+			return data, true
+		}
+	}
+	// Unreadable or corrupt: drop it so the slot is reclaimed.
+	d.removeLocked(el)
+	os.Remove(path)
+	d.readErrors++
+	d.misses++
+	return nil, false
+}
+
+// Put persists data under key: temp write in the cache root, fsync-free
+// rename into place, then LRU accounting and eviction. The returned
+// error is advisory — callers count it and move on; the artifact they
+// are about to serve is already in memory.
+func (d *Disk) Put(ctx context.Context, key Key, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := FaultDiskWrite.Fire(ctx); err != nil {
+		d.writeErrors++
+		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
+	}
+	name := diskFileName(key)
+	path := filepath.Join(d.root, name)
+	tmp := path + ".tmp"
+	framed := encodeDiskFile(key, data)
+	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
+		d.writeErrors++
+		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		d.writeErrors++
+		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
+	}
+	size := int64(len(framed))
+	if el, ok := d.items[name]; ok {
+		ent := el.Value.(*diskEntry)
+		d.bytes += size - ent.size
+		ent.size = size
+		d.ll.MoveToFront(el)
+	} else {
+		d.items[name] = d.ll.PushFront(&diskEntry{name: name, size: size})
+		d.bytes += size
+	}
+	d.writes++
+	d.evictLocked()
+	return nil
+}
+
+// Remove drops key from the disk cache if present.
+func (d *Disk) Remove(key Key) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	name := diskFileName(key)
+	el, ok := d.items[name]
+	if !ok {
+		return false
+	}
+	d.removeLocked(el)
+	os.Remove(filepath.Join(d.root, name))
+	return true
+}
+
+// evictLocked enforces the byte bound from the LRU tail.
+func (d *Disk) evictLocked() {
+	for d.bytes > d.max && d.ll.Len() > 0 {
+		back := d.ll.Back()
+		ent := back.Value.(*diskEntry)
+		d.removeLocked(back)
+		os.Remove(filepath.Join(d.root, ent.name))
+		d.evictions++
+	}
+}
+
+func (d *Disk) removeLocked(el *list.Element) {
+	ent := el.Value.(*diskEntry)
+	d.ll.Remove(el)
+	delete(d.items, ent.name)
+	d.bytes -= ent.size
+}
+
+// Len returns the number of resident artifacts.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DiskStats{
+		Entries:     d.ll.Len(),
+		Bytes:       d.bytes,
+		MaxBytes:    d.max,
+		Hits:        d.hits,
+		Misses:      d.misses,
+		Writes:      d.writes,
+		WriteErrors: d.writeErrors,
+		ReadErrors:  d.readErrors,
+		Evictions:   d.evictions,
+	}
+}

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"reticle/internal/faults"
+	"reticle/internal/rerr"
+)
+
+func mustOpen(t *testing.T, dir string, max int64) *Disk {
+	t.Helper()
+	d, err := OpenDisk(dir, max)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	d := mustOpen(t, t.TempDir(), 1<<20)
+
+	key := Key(strings.Repeat("ab", 32))
+	payload := []byte(`{"verilog":"module m; endmodule"}`)
+	if _, ok := d.Get(ctx, key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := d.Put(ctx, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(ctx, key)
+	if !ok {
+		t.Fatal("persisted artifact not found")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("round trip mutated the artifact: got %q want %q", got, payload)
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want hits=1 misses=1 writes=1 entries=1", st)
+	}
+}
+
+// TestDiskCacheCrashRestart is the durability half of the tentpole
+// contract: fill the cache in one "process" (Disk instance), reopen the
+// same directory in a fresh one, and require byte-identical artifacts —
+// plus a hit-rate jump from cold (all misses) to warm (all hits).
+func TestDiskCacheCrashRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	keys := make([]Key, 8)
+	payloads := make([][]byte, 8)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("%064x", 0xbeef0000+i))
+		payloads[i] = []byte(fmt.Sprintf(`{"asm":"artifact-%d","verilog":"%s"}`, i, strings.Repeat("v", 100*i)))
+	}
+
+	first := mustOpen(t, dir, 1<<20)
+	for i, k := range keys {
+		// Cold pass: every lookup misses, then the artifact is persisted.
+		if _, ok := first.Get(ctx, k); ok {
+			t.Fatalf("key %d: hit in a cold cache", i)
+		}
+		if err := first.Put(ctx, k, payloads[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := first.Stats()
+	if cold.Hits != 0 || cold.Misses != uint64(len(keys)) {
+		t.Fatalf("cold stats %+v, want 0 hits / %d misses", cold, len(keys))
+	}
+
+	// "Crash": drop the instance without any explicit close (there is
+	// nothing to close — durability comes from the rename), then reopen.
+	second := mustOpen(t, dir, 1<<20)
+	if second.Len() != len(keys) {
+		t.Fatalf("restart recovered %d entries, want %d", second.Len(), len(keys))
+	}
+	for i, k := range keys {
+		got, ok := second.Get(ctx, k)
+		if !ok {
+			t.Fatalf("key %d lost across restart", i)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("key %d: artifact changed across restart:\ngot  %q\nwant %q", i, got, payloads[i])
+		}
+	}
+	warm := second.Stats()
+	if warm.Hits != uint64(len(keys)) || warm.Misses != 0 {
+		t.Fatalf("warm stats %+v, want %d hits / 0 misses", warm, len(keys))
+	}
+}
+
+// TestDiskCacheAtomicWrite: a stray temp file (a crash between write and
+// rename) is swept on Open and never served, and concurrent-ish partial
+// state (a truncated artifact under a live name) is evicted on read
+// instead of returned.
+func TestDiskCacheAtomicWrite(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 1<<20)
+	key := Key(strings.Repeat("cd", 32))
+	if err := d.Put(ctx, key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crashed writer: a temp file next to the real artifact.
+	stray := filepath.Join(dir, diskFileName(key)+".tmp")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened := mustOpen(t, dir, 1<<20)
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stray temp file survived Open: %v", err)
+	}
+	if got, ok := reopened.Get(ctx, key); !ok || string(got) != "payload" {
+		t.Fatalf("artifact damaged by temp sweep: %q %v", got, ok)
+	}
+
+	// Corrupt the artifact in place: the next Get must miss and evict,
+	// never serve the corrupt bytes.
+	if err := os.WriteFile(filepath.Join(dir, diskFileName(key)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reopened.Get(ctx, key); ok {
+		t.Fatal("corrupt artifact served as a hit")
+	}
+	if reopened.Len() != 0 {
+		t.Fatalf("corrupt artifact not evicted: %d entries", reopened.Len())
+	}
+	if st := reopened.Stats(); st.ReadErrors != 1 {
+		t.Fatalf("read error not counted: %+v", st)
+	}
+}
+
+// TestDiskCacheEviction: the byte bound evicts least-recently-used
+// artifacts first, and a Get refreshes recency.
+func TestDiskCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	pay := bytes.Repeat([]byte("p"), 100)
+	// Frame overhead is magic(6) + len(4) + key(64) = 74 bytes; budget
+	// for ~3 entries of 174 framed bytes.
+	d := mustOpen(t, dir, 3*174)
+
+	k := func(i int) Key { return Key(fmt.Sprintf("%064x", i)) }
+	for i := 0; i < 3; i++ {
+		if err := d.Put(ctx, k(i), pay); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k0 so k1 becomes the eviction victim.
+	if _, ok := d.Get(ctx, k(0)); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := d.Put(ctx, k(3), pay); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get(ctx, k(1)); ok {
+		t.Fatal("LRU victim k1 survived eviction")
+	}
+	for _, want := range []int{0, 2, 3} {
+		if _, ok := d.Get(ctx, k(want)); !ok {
+			t.Fatalf("k%d evicted out of order", want)
+		}
+	}
+	if st := d.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+
+	// Recency survives a restart (mtime-ordered rebuild): make k2 the
+	// oldest by touching the others, reopen with a tighter bound, and k2
+	// must be the one that is gone.
+	time.Sleep(10 * time.Millisecond) // ensure distinct mtimes on coarse filesystems
+	d.Get(ctx, k(0))
+	d.Get(ctx, k(3))
+	shrunk := mustOpen(t, dir, 2*174)
+	if _, ok := shrunk.Get(ctx, k(2)); ok {
+		t.Fatal("reopen with a tighter bound kept the least-recent artifact")
+	}
+	for _, want := range []int{0, 3} {
+		if _, ok := shrunk.Get(ctx, k(want)); !ok {
+			t.Fatalf("k%d lost while shrinking", want)
+		}
+	}
+}
+
+// TestDiskCacheFaults: the chaos contract for the disk tier. An armed
+// cache/disk-read fault degrades to a miss (and counts a read error); an
+// armed cache/disk-write fault drops the persist with a typed transient
+// error the caller can count, and leaves no file behind.
+func TestDiskCacheFaults(t *testing.T) {
+	dir := t.TempDir()
+	d := mustOpen(t, dir, 1<<20)
+	key := Key(strings.Repeat("ef", 32))
+	ctx := context.Background()
+	if err := d.Put(ctx, key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx := faults.WithPlan(context.Background(), faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultDiskRead: {Class: rerr.Transient, Times: 1},
+	}))
+	if _, ok := d.Get(rctx, key); ok {
+		t.Fatal("injected read fault still served a hit")
+	}
+	if _, ok := d.Get(rctx, key); !ok {
+		t.Fatal("read fault was sticky past its Times cap")
+	}
+
+	wctx := faults.WithPlan(context.Background(), faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultDiskWrite: {Class: rerr.Transient, Times: 1},
+	}))
+	key2 := Key(strings.Repeat("aa", 32))
+	err := d.Put(wctx, key2, []byte("payload2"))
+	if err == nil {
+		t.Fatal("injected write fault did not surface")
+	}
+	if rerr.ClassOf(err) != rerr.Transient || rerr.CodeOf(err) != "disk_cache_write" {
+		t.Fatalf("write fault badly typed: class %v code %q", rerr.ClassOf(err), rerr.CodeOf(err))
+	}
+	if _, ok := d.Get(context.Background(), key2); ok {
+		t.Fatal("faulted write left an artifact behind")
+	}
+	if err := d.Put(wctx, key2, []byte("payload2")); err != nil {
+		t.Fatalf("write fault was sticky past its Times cap: %v", err)
+	}
+	st := d.Stats()
+	if st.ReadErrors == 0 || st.WriteErrors == 0 {
+		t.Fatalf("fault counters not recorded: %+v", st)
+	}
+}
+
+// diskNamePattern is the full set of shapes diskFileName may produce: a
+// raw lowercase-hex key, or an "x"-prefixed hex digest for everything
+// else. Both are single path components.
+var diskNamePattern = regexp.MustCompile(`^x?[0-9a-f]+\.art$`)
+
+// FuzzDiskCachePath hammers the filename/path derivation with arbitrary
+// key bytes: the derived path must never escape the cache root, two
+// distinct keys must never share a file name, and every key must round-
+// trip its payload through a real write and read-back.
+func FuzzDiskCachePath(f *testing.F) {
+	f.Add("", "")
+	f.Add("abcdef0123456789", "../../etc/passwd")
+	f.Add(strings.Repeat("ab", 32), strings.Repeat("ab", 32)+"x")
+	f.Add("../escape", "..\\escape")
+	f.Add("a/b/c", "a\x00b")
+	f.Add(strings.Repeat("f", 128), strings.Repeat("f", 129))
+	f.Add("x41deadbeef", "41deadbeef")
+
+	dir := f.TempDir()
+	d, err := OpenDisk(dir, 1<<30)
+	if err != nil {
+		f.Fatal(err)
+	}
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+
+	f.Fuzz(func(t *testing.T, k1, k2 string) {
+		for _, k := range []string{k1, k2} {
+			name := diskFileName(Key(k))
+			if !diskNamePattern.MatchString(name) {
+				t.Fatalf("key %q derived unsafe file name %q", k, name)
+			}
+			abs, err := filepath.Abs(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if filepath.Dir(abs) != root {
+				t.Fatalf("key %q escaped the cache root: %q", k, abs)
+			}
+		}
+		if k1 != k2 && diskFileName(Key(k1)) == diskFileName(Key(k2)) {
+			t.Fatalf("distinct keys %q and %q collide on file name %q", k1, k2, diskFileName(Key(k1)))
+		}
+
+		p1 := []byte("payload-1:" + k1)
+		p2 := []byte("payload-2:" + k2)
+		if err := d.Put(ctx, Key(k1), p1); err != nil {
+			t.Fatalf("put %q: %v", k1, err)
+		}
+		if err := d.Put(ctx, Key(k2), p2); err != nil {
+			t.Fatalf("put %q: %v", k2, err)
+		}
+		got2, ok := d.Get(ctx, Key(k2))
+		if !ok || !bytes.Equal(got2, p2) {
+			t.Fatalf("key %q did not round-trip: %q %v", k2, got2, ok)
+		}
+		if k1 != k2 {
+			got1, ok := d.Get(ctx, Key(k1))
+			if !ok || !bytes.Equal(got1, p1) {
+				t.Fatalf("key %q did not round-trip: %q %v", k1, got1, ok)
+			}
+		}
+	})
+}

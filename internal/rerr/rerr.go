@@ -26,6 +26,7 @@ package rerr
 import (
 	"context"
 	"errors"
+	"net/http"
 	"strings"
 )
 
@@ -156,6 +157,37 @@ func CodeOf(err error) string {
 		return "canceled"
 	}
 	return "internal"
+}
+
+// HTTPStatus maps a classified error to the HTTP status every service
+// tier (the compile server and the shard router) puts on the wire, so
+// the taxonomy-to-status policy lives in one place: admission rejections
+// are 429, internal panics 500, expired deadlines gateway timeouts, and
+// cancellations and other transient failures 503 (retryable, the client
+// should back off); everything else — type errors, capacity overflows,
+// unsatisfiable placements — is an unprocessable kernel.
+func HTTPStatus(err error) int {
+	switch {
+	case CodeOf(err) == "admission_rejected":
+		return http.StatusTooManyRequests
+	case CodeOf(err) == "internal_panic":
+		return http.StatusInternalServerError
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case ClassOf(err) == Transient:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// Retryable reports whether a client seeing err on the wire should back
+// off and retry (the statuses writeTypedError pairs with Retry-After).
+func Retryable(err error) bool {
+	s := HTTPStatus(err)
+	return s == http.StatusTooManyRequests || s == http.StatusServiceUnavailable
 }
 
 // unsafeFragments are substrings that mark an error message as internal

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 
+	"reticle/internal/cache"
 	"reticle/internal/pipeline"
 )
 
@@ -113,6 +114,12 @@ type BatchRequest struct {
 	// negative is a 400 (batch.ErrInvalidTimeout).
 	TimeoutMS int64         `json:"timeout_ms,omitempty"`
 	Kernels   []BatchKernel `json:"kernels"`
+	// Stream selects the chunked NDJSON response framing (equivalent to
+	// sending "Accept: application/x-ndjson"): one result line per
+	// kernel, flushed in submission order as kernels complete, then a
+	// footer line {"family":...,"stats":{...}}. Large sweeps stream at
+	// worker-pool pace instead of buffering the whole result set.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // BatchKernelResult is one kernel's outcome, at its submission index.
@@ -204,6 +211,21 @@ type CacheStatsJSON struct {
 	HitRate    float64 `json:"hit_rate"`
 }
 
+// DiskStatsJSON is the persistent second-level cache section of GET
+// /stats, present only when the server runs with a disk cache. The
+// counters reset with the process; the artifacts do not.
+type DiskStatsJSON struct {
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+	MaxBytes    int64  `json:"max_bytes"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Writes      uint64 `json:"writes"`
+	WriteErrors uint64 `json:"write_errors"`
+	ReadErrors  uint64 `json:"read_errors"`
+	Evictions   uint64 `json:"evictions"`
+}
+
 // PlaceStatsJSON is the cumulative placement-solver section of GET
 // /stats: totals across every compiled kernel (cache hits excluded,
 // like Stages).
@@ -223,8 +245,25 @@ type StatsResponse struct {
 	UptimeMS        int64          `json:"uptime_ms"`
 	Families        []string       `json:"families"`
 	Cache           CacheStatsJSON `json:"cache"`
+	Disk            *DiskStatsJSON `json:"disk,omitempty"`
 	Stages          StagesJSON     `json:"stages"`
 	Place           PlaceStatsJSON `json:"place"`
+}
+
+// DiskStatsJSONFrom renders disk-cache counters for the wire; the shard
+// router reuses it for its local disk section.
+func DiskStatsJSONFrom(ds cache.DiskStats) DiskStatsJSON {
+	return DiskStatsJSON{
+		Entries:     ds.Entries,
+		Bytes:       ds.Bytes,
+		MaxBytes:    ds.MaxBytes,
+		Hits:        ds.Hits,
+		Misses:      ds.Misses,
+		Writes:      ds.Writes,
+		WriteErrors: ds.WriteErrors,
+		ReadErrors:  ds.ReadErrors,
+		Evictions:   ds.Evictions,
+	}
 }
 
 // artifactJSON renders an artifact for the wire.

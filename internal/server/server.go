@@ -76,6 +76,13 @@ type Options struct {
 	// 429 + Retry-After instead of queuing unboundedly. 0 means
 	// unlimited.
 	MaxInFlight int
+	// DiskDir, when non-empty, enables the persistent second-level
+	// artifact cache rooted there: checked after the in-memory LRU and
+	// before compute, written through on every non-degraded compile, and
+	// durable across restarts (see cache.Disk).
+	DiskDir string
+	// DiskMaxBytes bounds the disk cache; <=0 means cache.DefaultDiskBytes.
+	DiskMaxBytes int64
 }
 
 // Server serves compile requests over shared read-only pipeline configs,
@@ -87,6 +94,7 @@ type Server struct {
 	configs map[string]*pipeline.Config
 	cache   *cache.Cache[cachedArtifact]
 	texts   *cache.Cache[textEntry]
+	disk    *cache.Disk // persistent second level; nil when disabled
 	mux     *http.ServeMux
 	hs      *http.Server
 	start   time.Time
@@ -182,6 +190,13 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 	if opts.MaxInFlight > 0 {
 		s.sem = make(chan struct{}, opts.MaxInFlight)
 	}
+	if opts.DiskDir != "" {
+		disk, err := cache.OpenDisk(opts.DiskDir, opts.DiskMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("server: disk cache: %w", err)
+		}
+		s.disk = disk
+	}
 	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
 	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
@@ -238,6 +253,31 @@ func (s *Server) Families() []string {
 
 // CacheStats snapshots the artifact cache counters.
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// Disk exposes the persistent second-level cache (nil when disabled);
+// the crash-restart suite and the stats endpoint read it.
+func (s *Server) Disk() *cache.Disk { return s.disk }
+
+// diskGet reads the second-level cache, if enabled. A read failure
+// (including an injected cache/disk-read fault) is already degraded to a
+// miss inside cache.Disk.
+func (s *Server) diskGet(ctx context.Context, key cache.Key) (json.RawMessage, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	return s.disk.Get(ctx, key)
+}
+
+// diskPut persists a rendered artifact, if the second level is enabled.
+// Write failures (including injected cache/disk-write faults) are
+// counted inside cache.Disk and never fail the compile that produced
+// the artifact.
+func (s *Server) diskPut(ctx context.Context, key cache.Key, rendered json.RawMessage) {
+	if s.disk == nil {
+		return
+	}
+	_ = s.disk.Put(ctx, key, rendered)
+}
 
 // recovered wraps a handler with panic isolation: a panic becomes a 500
 // JSON error response instead of a dead connection, the same "one bad
@@ -341,7 +381,18 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 	// add-then-remove would briefly serve the degraded artifact as a hit
 	// to concurrent requests.
 	keep := func(ca cachedArtifact) bool { return ca.art == nil || !ca.art.Degraded }
+	diskServed := false
 	ca, hit, err := s.cache.GetOrComputeKeep(ctx, key, func() (cachedArtifact, error) {
+		// Second level: an artifact persisted by an earlier run (or an
+		// earlier process — the disk cache survives restarts) is promoted
+		// back into the LRU without touching the pipeline. Disk-served
+		// entries carry no in-memory Artifact (art == nil), which the keep
+		// predicate treats as publishable: only non-degraded artifacts are
+		// ever persisted.
+		if data, ok := s.diskGet(ctx, key); ok {
+			diskServed = true
+			return cachedArtifact{rendered: data}, nil
+		}
 		if onCompileStart != nil {
 			onCompileStart()
 		}
@@ -356,32 +407,19 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 		s.stages.Add(art.Stages)
 		s.place.Add(art.Place)
 		s.stageMu.Unlock()
-		return render(art), nil
+		ca := render(art)
+		if !art.Degraded {
+			s.diskPut(ctx, key, ca.rendered)
+		}
+		return ca, nil
 	}, keep)
-	return ca, hit, key, err
+	return ca, hit || diskServed, key, err
 }
 
-// compileStatus maps a typed pipeline/cache error to an HTTP status:
-// admission rejections are 429, internal panics 500, expired deadlines
-// gateway timeouts, cancellations and other transient failures 503, and
-// everything else (type errors, capacity overflows, placement failures)
-// an unprocessable kernel.
-func compileStatus(err error) int {
-	switch {
-	case rerr.CodeOf(err) == "admission_rejected":
-		return http.StatusTooManyRequests
-	case rerr.CodeOf(err) == "internal_panic":
-		return http.StatusInternalServerError
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
-	case rerr.ClassOf(err) == rerr.Transient:
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusUnprocessableEntity
-	}
-}
+// compileStatus maps a typed pipeline/cache error to an HTTP status.
+// The policy lives in rerr.HTTPStatus so the shard router renders the
+// same taxonomy the same way.
+func compileStatus(err error) int { return rerr.HTTPStatus(err) }
 
 // writeTypedError renders err through the taxonomy: stable message and
 // machine-readable code only (never internal fmt chains or paths), with
@@ -516,48 +554,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	// Parse every kernel (per-kernel errors never fail the batch), then
-	// split cache hits from misses and dedupe misses by key, so a batch
-	// of N identical kernels compiles once, like N concurrent /compile
-	// calls would.
-	results := make([]batchKernelResultWire, len(req.Kernels))
-	keys := make([]cache.Key, len(req.Kernels))
-	var missJobs []batch.Job
-	missIdx := map[cache.Key]int{} // key -> index into missJobs
-	for i, k := range req.Kernels {
-		name := k.Name
-		f, perr := ir.Parse(k.IR)
-		if perr == nil && name == "" {
-			name = f.Name
-		}
-		results[i] = batchKernelResultWire{Name: name}
-		if perr != nil {
-			results[i].Error = fmt.Sprintf("parse: %v", perr)
-			results[i].ErrorCode = "parse_failed"
-			continue
-		}
-		key := cache.KeyFor(cfg, f)
-		keys[i] = key
-		if ca, ok := s.cache.Get(key); ok {
-			results[i].Cache = "hit"
-			results[i].OK = true
-			results[i].Artifact = ca.rendered
-			continue
-		}
-		results[i].Cache = "miss"
-		if _, queued := missIdx[key]; !queued {
-			missIdx[key] = len(missJobs)
-			missJobs = append(missJobs, batch.Job{Name: name, Func: f})
-		}
+	prep := s.prepBatch(ctx, cfg, req.Kernels)
+
+	if req.Stream || r.Header.Get("Accept") == ndjsonContentType {
+		s.streamBatch(ctx, w, famName, cfg, prep, opts)
+		return
 	}
 
 	var stats batch.Stats
 	var batchResults []batch.Result
-	if len(missJobs) > 0 {
-		s.inflight.Add(int64(len(missJobs)))
-		s.kernels.Add(int64(len(missJobs)))
-		batchResults, stats, err = batch.Compile(ctx, cfg, missJobs, opts)
-		s.inflight.Add(-int64(len(missJobs)))
+	if len(prep.missJobs) > 0 {
+		s.inflight.Add(int64(len(prep.missJobs)))
+		s.kernels.Add(int64(len(prep.missJobs)))
+		batchResults, stats, err = batch.Compile(ctx, cfg, prep.missJobs, opts)
+		s.inflight.Add(-int64(len(prep.missJobs)))
 		if err != nil {
 			writeTypedError(w, err)
 			return
@@ -568,16 +578,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.stageMu.Unlock()
 	}
 
+	results := prep.results
+	published := make(map[cache.Key]bool, len(prep.missJobs))
 	succeeded, failed, degraded := 0, 0, 0
 	for i := range results {
 		if results[i].Cache == "miss" {
-			br := batchResults[missIdx[keys[i]]]
+			br := batchResults[prep.missIdx[prep.keys[i]]]
 			if br.Ok() {
 				ca := render(br.Artifact)
-				// Degraded artifacts go to the requester, not the cache
-				// (see handleCompile).
+				// Degraded artifacts go to the requester, not the cache —
+				// neither tier of it (see handleCompile).
 				if !br.Artifact.Degraded {
-					s.cache.Add(keys[i], ca)
+					if !published[prep.keys[i]] {
+						published[prep.keys[i]] = true
+						s.cache.Add(prep.keys[i], ca)
+						s.diskPut(ctx, prep.keys[i], ca.rendered)
+					}
 				} else {
 					degraded++
 				}
@@ -603,13 +619,71 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			Kernels:       len(results),
 			Succeeded:     succeeded,
 			Failed:        failed,
-			Compiled:      len(missJobs),
+			Compiled:      len(prep.missJobs),
 			WallNS:        stats.Wall.Nanoseconds(),
 			KernelsPerSec: stats.KernelsPerSec,
 			Degraded:      degraded,
 			Retried:       stats.Retried,
 		},
 	})
+}
+
+// batchPrep is the cache-checked plan for one /batch request, shared by
+// the buffered and streaming emitters: per-kernel wire results with
+// parse failures and cache hits already resolved, plus the deduped list
+// of kernels that must actually compile.
+type batchPrep struct {
+	results  []batchKernelResultWire
+	keys     []cache.Key
+	missJobs []batch.Job
+	missIdx  map[cache.Key]int // key -> index into missJobs
+}
+
+// prepBatch parses every kernel (per-kernel errors never fail the
+// batch), resolves cache hits through both tiers (memory LRU first,
+// then the persistent disk cache, promoting disk hits into the LRU),
+// and dedupes the remaining misses by key, so a batch of N identical
+// kernels compiles once, like N concurrent /compile calls would.
+func (s *Server) prepBatch(ctx context.Context, cfg *pipeline.Config, kernels []BatchKernel) batchPrep {
+	prep := batchPrep{
+		results: make([]batchKernelResultWire, len(kernels)),
+		keys:    make([]cache.Key, len(kernels)),
+		missIdx: map[cache.Key]int{},
+	}
+	for i, k := range kernels {
+		name := k.Name
+		f, perr := ir.Parse(k.IR)
+		if perr == nil && name == "" {
+			name = f.Name
+		}
+		prep.results[i] = batchKernelResultWire{Name: name}
+		if perr != nil {
+			prep.results[i].Error = fmt.Sprintf("parse: %v", perr)
+			prep.results[i].ErrorCode = "parse_failed"
+			continue
+		}
+		key := cache.KeyFor(cfg, f)
+		prep.keys[i] = key
+		if ca, ok := s.cache.Get(key); ok {
+			prep.results[i].Cache = "hit"
+			prep.results[i].OK = true
+			prep.results[i].Artifact = ca.rendered
+			continue
+		}
+		if data, ok := s.diskGet(ctx, key); ok {
+			s.cache.Add(key, cachedArtifact{rendered: data})
+			prep.results[i].Cache = "hit"
+			prep.results[i].OK = true
+			prep.results[i].Artifact = data
+			continue
+		}
+		prep.results[i].Cache = "miss"
+		if _, queued := prep.missIdx[key]; !queued {
+			prep.missIdx[key] = len(prep.missJobs)
+			prep.missJobs = append(prep.missJobs, batch.Job{Name: name, Func: f})
+		}
+	}
+	return prep
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -626,6 +700,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.stages
 	ps := s.place
 	s.stageMu.Unlock()
+	var disk *DiskStatsJSON
+	if s.disk != nil {
+		dj := DiskStatsJSONFrom(s.disk.Stats())
+		disk = &dj
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Requests:        s.requests.Load(),
 		Kernels:         s.kernels.Load(),
@@ -643,6 +722,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:   cs.InFlight,
 			HitRate:    cs.HitRate(),
 		},
+		Disk:   disk,
 		Stages: stageJSON(st),
 		Place:  placeJSON(ps),
 	})

@@ -1,0 +1,237 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reticle"
+	"reticle/internal/server"
+)
+
+// chainSrc builds a structurally distinct kernel per (name, n): an
+// n-deep add chain. Distinct depths hash to distinct canonical keys, so
+// sweeps built from them exercise real cache misses.
+func chainSrc(name string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "def %s(a:i8, b:i8) -> (y:i8) {\n", name)
+	prev := "a"
+	for i := 0; i < n; i++ {
+		cur := fmt.Sprintf("t%d", i)
+		fmt.Fprintf(&b, "    %s:i8 = add(%s, b) @??;\n", cur, prev)
+		prev = cur
+	}
+	fmt.Fprintf(&b, "    y:i8 = add(%s, b) @??;\n", prev)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sweepKernels is a small representative sweep: distinct kernels, a
+// duplicate (same key as the first), and a parse failure.
+func sweepKernels() []server.BatchKernel {
+	return []server.BatchKernel{
+		{IR: chainSrc("c1", 1)},
+		{IR: chainSrc("c2", 2)},
+		{IR: chainSrc("c3", 3)},
+		{Name: "dup", IR: chainSrc("c1", 1)},
+		{Name: "broken", IR: "def broken( {"},
+		{IR: maccSrc},
+	}
+}
+
+func postBody(t testing.TB, h http.Handler, path string, body any, header map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// streamLines splits an NDJSON body into its result lines and the
+// footer line.
+func streamLines(t testing.TB, body string) (results []string, footer string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) < 1 {
+		t.Fatalf("empty stream body")
+	}
+	return lines[:len(lines)-1], lines[len(lines)-1]
+}
+
+// TestStreamBatchDeterminism is the tentpole's framing contract: over a
+// warmed cache (so per-kernel timings are the cached render, not a
+// fresh nondeterministic compile), the concatenated NDJSON stream is
+// byte-identical to the buffered /batch body for the same sweep — the
+// splice {"family":F,"results":[line1,...,lineN],"stats":S} using the
+// footer's raw fields reproduces the buffered response exactly.
+func TestStreamBatchDeterminism(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	kernels := sweepKernels()
+
+	// Warm both tiers: after this, every valid kernel is a cache hit, so
+	// the buffered and streamed runs below serve identical bytes and a
+	// deterministic (zero-wall) stats footer.
+	if w := postBody(t, s, "/batch", server.BatchRequest{Kernels: kernels}, nil); w.Code != http.StatusOK {
+		t.Fatalf("warm batch: status %d: %s", w.Code, w.Body.String())
+	}
+
+	buffered := postBody(t, s, "/batch", server.BatchRequest{Kernels: kernels}, nil)
+	if buffered.Code != http.StatusOK {
+		t.Fatalf("buffered batch: status %d: %s", buffered.Code, buffered.Body.String())
+	}
+	streamed := postBody(t, s, "/batch", server.BatchRequest{Kernels: kernels, Stream: true}, nil)
+	if streamed.Code != http.StatusOK {
+		t.Fatalf("streamed batch: status %d: %s", streamed.Code, streamed.Body.String())
+	}
+	if ct := streamed.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type %q, want application/x-ndjson", ct)
+	}
+
+	results, footer := streamLines(t, streamed.Body.String())
+	if len(results) != len(kernels) {
+		t.Fatalf("stream has %d result lines, want %d", len(results), len(kernels))
+	}
+	var foot struct {
+		Family json.RawMessage `json:"family"`
+		Stats  json.RawMessage `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(footer), &foot); err != nil {
+		t.Fatalf("footer is not JSON: %v\n%s", err, footer)
+	}
+
+	var splice bytes.Buffer
+	splice.WriteString(`{"family":`)
+	splice.Write(foot.Family)
+	splice.WriteString(`,"results":[`)
+	splice.WriteString(strings.Join(results, ","))
+	splice.WriteString(`],"stats":`)
+	splice.Write(foot.Stats)
+	splice.WriteString("}\n")
+
+	if splice.String() != buffered.Body.String() {
+		t.Fatalf("stream splice differs from buffered body\nstream splice:\n%s\nbuffered:\n%s",
+			splice.String(), buffered.Body.String())
+	}
+}
+
+// TestStreamBatchCold: a cold streamed sweep (real compiles through the
+// worker pool) delivers one line per kernel in submission order, shares
+// artifact bytes between duplicate kernels, reports parse failures
+// inline, and closes with a footer whose counters match the sweep.
+func TestStreamBatchCold(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	kernels := sweepKernels()
+	w := postBody(t, s, "/batch", server.BatchRequest{Kernels: kernels, Jobs: 4, Stream: true}, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	lines, footer := streamLines(t, w.Body.String())
+	if len(lines) != len(kernels) {
+		t.Fatalf("%d result lines, want %d", len(lines), len(kernels))
+	}
+
+	var results []server.BatchKernelResult
+	for i, line := range lines {
+		var res server.BatchKernelResult
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		results = append(results, res)
+	}
+	for i, res := range results {
+		if i == 4 {
+			if res.OK || res.ErrorCode != "parse_failed" {
+				t.Fatalf("parse-failure kernel reported %+v", res)
+			}
+			continue
+		}
+		if !res.OK || res.Artifact.Verilog == "" {
+			t.Fatalf("kernel %d: not ok or empty artifact: %+v", i, res)
+		}
+		if res.Cache != "miss" {
+			t.Fatalf("kernel %d: cold sweep served cache %q", i, res.Cache)
+		}
+	}
+	if results[0].Artifact.Verilog != results[3].Artifact.Verilog {
+		t.Fatal("duplicate kernels did not share one compile's artifact")
+	}
+
+	var foot struct {
+		Family string                `json:"family"`
+		Stats  server.BatchStatsJSON `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(footer), &foot); err != nil {
+		t.Fatalf("footer is not JSON: %v\n%s", err, footer)
+	}
+	if foot.Family != "ultrascale" {
+		t.Fatalf("footer family %q", foot.Family)
+	}
+	st := foot.Stats
+	if st.Kernels != 6 || st.Succeeded != 5 || st.Failed != 1 || st.Compiled != 4 {
+		// 4 compiled: c1..c3 and macc are the unique keys — the duplicate
+		// dedupes onto c1's job, the parse failure never reaches the pool.
+		t.Fatalf("footer stats %+v", st)
+	}
+}
+
+// flushRecorder counts Flush calls, so the test can assert the stream
+// is actually chunked (one flush per result line plus the footer), not
+// buffered and dumped at the end.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushes int
+}
+
+func (f *flushRecorder) Flush() { f.flushes++ }
+
+// TestStreamBatchFlushesPerKernel: every result line is flushed as it
+// is written.
+func TestStreamBatchFlushesPerKernel(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	kernels := sweepKernels()
+	data, err := json.Marshal(server.BatchRequest{Kernels: kernels, Stream: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	req := httptest.NewRequest("POST", "/batch", bytes.NewReader(data))
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if want := len(kernels) + 1; w.flushes < want {
+		t.Fatalf("stream flushed %d times, want >= %d (per result line + footer)", w.flushes, want)
+	}
+}
+
+// TestStreamBatchAcceptHeader: "Accept: application/x-ndjson" selects
+// streaming without the body flag, so plain HTTP clients can opt in.
+func TestStreamBatchAcceptHeader(t *testing.T) {
+	s := newTestServer(t, reticle.ServerOptions{})
+	w := postBody(t, s, "/batch", server.BatchRequest{Kernels: []server.BatchKernel{{IR: maccSrc}}},
+		map[string]string{"Accept": "application/x-ndjson"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q, want application/x-ndjson", ct)
+	}
+	lines, footer := streamLines(t, w.Body.String())
+	if len(lines) != 1 {
+		t.Fatalf("%d result lines, want 1", len(lines))
+	}
+	if !strings.Contains(footer, `"stats"`) {
+		t.Fatalf("footer missing stats: %s", footer)
+	}
+}

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"reticle/internal/cache"
+	"reticle/internal/ir"
+	"reticle/internal/rerr"
+	"reticle/internal/server"
+)
+
+const ndjsonContentType = "application/x-ndjson"
+
+// batchResult is one kernel's outcome on the router's /batch wire —
+// the same shape a backend emits, with the artifact kept raw so the
+// router never re-encodes backend bytes.
+type batchResult struct {
+	Name      string          `json:"name"`
+	OK        bool            `json:"ok"`
+	Cache     string          `json:"cache,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrorCode string          `json:"error_code,omitempty"`
+	Artifact  json.RawMessage `json:"artifact,omitempty"`
+}
+
+type batchFooter struct {
+	Family string                `json:"family"`
+	Stats  server.BatchStatsJSON `json:"stats"`
+}
+
+type batchBody struct {
+	Family  string                `json:"family"`
+	Results []batchResult         `json:"results"`
+	Stats   server.BatchStatsJSON `json:"stats"`
+}
+
+// routeJob is one deduped kernel to proxy: its forward body, and the
+// shared outcome every duplicate kernel copies once done is closed.
+type routeJob struct {
+	key  cache.Key
+	fwd  []byte
+	done chan struct{}
+	// Written before done closes, read only after.
+	res      batchResult // Name left empty; per-kernel names overlay it
+	compiled bool        // backend answered 200 with cache "miss"
+}
+
+// batchPlan is the routed plan for one /batch request: per-kernel
+// results with parse failures and router-disk hits already resolved,
+// plus the deduped jobs that must cross the network.
+type batchPlan struct {
+	results []batchResult
+	jobIdx  []int // per kernel: index into jobs, or -1 when resolved
+	jobs    []*routeJob
+}
+
+// planBatch parses every kernel (per-kernel errors never fail the
+// batch, matching the backend contract), serves router-disk hits
+// locally, and dedupes the remaining kernels by cache key so a sweep
+// with duplicates crosses the network once per unique kernel.
+func (rt *Router) planBatch(r *http.Request, famName string, req server.BatchRequest) batchPlan {
+	cfg := rt.configs[famName]
+	plan := batchPlan{
+		results: make([]batchResult, len(req.Kernels)),
+		jobIdx:  make([]int, len(req.Kernels)),
+	}
+	jobByKey := map[cache.Key]int{}
+	for i, k := range req.Kernels {
+		plan.jobIdx[i] = -1
+		name := k.Name
+		f, perr := ir.Parse(k.IR)
+		if perr == nil && name == "" {
+			name = f.Name
+		}
+		plan.results[i] = batchResult{Name: name}
+		if perr != nil {
+			plan.results[i].Error = fmt.Sprintf("parse: %v", perr)
+			plan.results[i].ErrorCode = "parse_failed"
+			continue
+		}
+		key := cache.KeyFor(cfg, f)
+		if raw, ok := rt.diskGet(r.Context(), key); ok {
+			plan.results[i].OK = true
+			plan.results[i].Cache = "hit"
+			plan.results[i].Artifact = raw
+			continue
+		}
+		if j, queued := jobByKey[key]; queued {
+			plan.jobIdx[i] = j
+			continue
+		}
+		fwd, err := json.Marshal(server.CompileRequest{
+			Name: name, Family: famName, IR: k.IR, TimeoutMS: req.TimeoutMS,
+		})
+		if err != nil {
+			plan.results[i].Error = "marshal forward request"
+			plan.results[i].ErrorCode = "internal_error"
+			continue
+		}
+		jobByKey[key] = len(plan.jobs)
+		plan.jobIdx[i] = len(plan.jobs)
+		plan.jobs = append(plan.jobs, &routeJob{key: key, fwd: fwd, done: make(chan struct{})})
+	}
+	return plan
+}
+
+// runJob proxies one deduped kernel and records its shared outcome.
+// Panics (an armed panic fault, a bug) are contained to a typed
+// per-kernel failure: workers run outside the handler's recover, and a
+// batch must never die to one kernel.
+func (rt *Router) runJob(r *http.Request, j *routeJob) {
+	defer close(j.done)
+	defer func() {
+		if rec := recover(); rec != nil {
+			j.res = batchResult{
+				Error:     "internal panic while routing the kernel",
+				ErrorCode: "internal_panic",
+			}
+		}
+	}()
+	out := rt.proxyKernel(r.Context(), j.key, j.fwd)
+	if out.err != nil {
+		j.res.Error = rerr.Message(out.err)
+		j.res.ErrorCode = rerr.CodeOf(out.err)
+		return
+	}
+	if out.status == http.StatusOK {
+		var cw compileWire
+		if err := json.Unmarshal(out.body, &cw); err != nil {
+			j.res.Error = "backend returned an unreadable response"
+			j.res.ErrorCode = "backend_error"
+			return
+		}
+		j.res.OK = true
+		j.res.Cache = cw.Cache
+		j.res.Artifact = cw.Artifact
+		j.compiled = cw.Cache == "miss"
+		rt.diskPut(r.Context(), j.key, cw.Artifact)
+		return
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(out.body, &er); err != nil || er.Error == "" {
+		j.res.Error = fmt.Sprintf("backend answered status %d", out.status)
+		j.res.ErrorCode = "backend_error"
+		return
+	}
+	j.res.Error = er.Error
+	j.res.ErrorCode = er.ErrorCode
+	if j.res.ErrorCode == "" {
+		j.res.ErrorCode = "backend_error"
+	}
+}
+
+// overlay copies a job's shared outcome onto kernel i, keeping the
+// kernel's own name.
+func (plan *batchPlan) overlay(i int) {
+	j := plan.jobIdx[i]
+	if j < 0 {
+		return
+	}
+	name := plan.results[i].Name
+	plan.results[i] = plan.jobs[j].res
+	plan.results[i].Name = name
+}
+
+// stats aggregates the footer counters once every job has finished.
+func (plan *batchPlan) stats(wall time.Duration) server.BatchStatsJSON {
+	st := server.BatchStatsJSON{Kernels: len(plan.results), WallNS: wall.Nanoseconds()}
+	for i := range plan.results {
+		if plan.results[i].OK {
+			st.Succeeded++
+			if artifactDegraded(plan.results[i].Artifact) {
+				st.Degraded++
+			}
+		} else {
+			st.Failed++
+		}
+	}
+	for _, j := range plan.jobs {
+		if j.compiled {
+			st.Compiled++
+		}
+	}
+	if wall > 0 {
+		st.KernelsPerSec = float64(st.Kernels) / wall.Seconds()
+	}
+	return st
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if code, err := rt.decode(w, r, &req); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	famName, _, err := rt.family(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Kernels) == 0 {
+		writeError(w, http.StatusBadRequest, "batch: no kernels")
+		return
+	}
+	if req.Jobs < 0 {
+		writeError(w, http.StatusBadRequest, "batch: jobs must be >= 0")
+		return
+	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, "batch: timeout_ms must be >= 0")
+		return
+	}
+	jobs := req.Jobs
+	if jobs == 0 {
+		jobs = rt.opts.Jobs
+	}
+
+	start := time.Now()
+	plan := rt.planBatch(r, famName, req)
+
+	// Bounded fan-out: `jobs` proxy workers pull deduped kernels off a
+	// queue; each job's outcome is published exactly once via its done
+	// channel, so the emitters below never race a worker.
+	queue := make(chan *routeJob)
+	for g := 0; g < jobs; g++ {
+		go func() {
+			for j := range queue {
+				rt.runJob(r, j)
+			}
+		}()
+	}
+	go func() {
+		defer close(queue)
+		for _, j := range plan.jobs {
+			select {
+			case queue <- j:
+			case <-r.Context().Done():
+				// Never dispatched: resolve as a typed cancellation so the
+				// emitters don't block on a job no worker will run.
+				j.res.Error = "request cancelled before the kernel was routed"
+				j.res.ErrorCode = "cancelled"
+				close(j.done)
+				return
+			}
+		}
+	}()
+
+	if req.Stream || r.Header.Get("Accept") == ndjsonContentType {
+		rt.streamBatch(w, famName, plan, start)
+		return
+	}
+
+	for _, j := range plan.jobs {
+		<-j.done
+	}
+	for i := range plan.results {
+		plan.overlay(i)
+	}
+	writeJSON(w, http.StatusOK, batchBody{
+		Family:  famName,
+		Results: plan.results,
+		Stats:   plan.stats(time.Since(start)),
+	})
+}
+
+// streamBatch emits the NDJSON framing: one result line per kernel in
+// submission order, flushed as soon as that kernel's proxy answers,
+// then a footer line with the family and aggregate stats — the same
+// framing the backends speak, so a client cannot tell which tier it
+// streamed from.
+func (rt *Router) streamBatch(w http.ResponseWriter, famName string, plan batchPlan, start time.Time) {
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range plan.results {
+		if j := plan.jobIdx[i]; j >= 0 {
+			<-plan.jobs[j].done
+			plan.overlay(i)
+		}
+		enc.Encode(plan.results[i])
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, j := range plan.jobs {
+		<-j.done
+	}
+	enc.Encode(batchFooter{Family: famName, Stats: plan.stats(time.Since(start))})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateRing = flag.Bool("update", false, "rewrite testdata/ring.golden")
+
+// cacheGoldenKeys loads the content-addressed cache keys the cache
+// package pins in its own golden file, so the ring assignments below
+// are pinned over the exact keys the router hashes in production —
+// if the key schema moves, both golden files move together.
+func cacheGoldenKeys(t *testing.T) [][3]string {
+	t.Helper()
+	f, err := os.Open(filepath.Join("..", "cache", "testdata", "keys.golden"))
+	if err != nil {
+		t.Fatalf("cache key golden file: %v", err)
+	}
+	defer f.Close()
+	var out [][3]string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 {
+			t.Fatalf("malformed cache golden line: %q", sc.Text())
+		}
+		out = append(out, [3]string{fields[0], fields[1], fields[2]})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("cache golden file is empty")
+	}
+	return out
+}
+
+// renderAssignments renders every key's full preference order for ring
+// sizes 1..maxN, the text the golden file pins.
+func renderAssignments(keys [][3]string, maxN int) string {
+	var b strings.Builder
+	for n := 1; n <= maxN; n++ {
+		ring := NewRing(n, DefaultReplicas)
+		for _, k := range keys {
+			order := ring.Pick(k[2])
+			parts := make([]string, len(order))
+			for i, bi := range order {
+				parts[i] = fmt.Sprintf("%d", bi)
+			}
+			fmt.Fprintf(&b, "n=%d %s %s owner=%d order=%s\n",
+				n, k[0], k[1], order[0], strings.Join(parts, ","))
+		}
+	}
+	return b.String()
+}
+
+// TestRingAssignmentGolden pins the ring's key-to-backend assignment —
+// owner and full failover order — for every cache-golden key at ring
+// sizes 1 through 5. The assignment is part of the tier's operational
+// contract: it decides which backend's LRU is warm for which kernel,
+// and two routers in front of the same backends must agree on it. Any
+// diff here means redeployed routers would reshuffle the key space.
+func TestRingAssignmentGolden(t *testing.T) {
+	got := renderAssignments(cacheGoldenKeys(t), 5)
+	golden := filepath.Join("testdata", "ring.golden")
+	if *updateRing {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("ring assignments diverged from golden (run with -update if the change is intentional)\ngot:\n%s\nwant:\n%s",
+			got, want)
+	}
+}
+
+// TestRingDeterministicAcrossRuns: two independently built rings agree
+// on every assignment — the property that lets any number of routers
+// front the same backends without coordination.
+func TestRingDeterministicAcrossRuns(t *testing.T) {
+	keys := cacheGoldenKeys(t)
+	for n := 1; n <= 5; n++ {
+		a, b := NewRing(n, DefaultReplicas), NewRing(n, DefaultReplicas)
+		for _, k := range keys {
+			oa, ob := a.Pick(k[2]), b.Pick(k[2])
+			if fmt.Sprint(oa) != fmt.Sprint(ob) {
+				t.Fatalf("n=%d key %s: rings disagree: %v vs %v", n, k[2], oa, ob)
+			}
+		}
+	}
+}
+
+// TestRingPickIsPermutation: Pick returns every backend exactly once,
+// so failover re-hashing can always reach every live peer.
+func TestRingPickIsPermutation(t *testing.T) {
+	keys := cacheGoldenKeys(t)
+	for n := 1; n <= 5; n++ {
+		ring := NewRing(n, DefaultReplicas)
+		for _, k := range keys {
+			order := ring.Pick(k[2])
+			if len(order) != n {
+				t.Fatalf("n=%d key %s: order %v has %d entries", n, k[2], order, len(order))
+			}
+			seen := make([]bool, n)
+			for _, bi := range order {
+				if bi < 0 || bi >= n || seen[bi] {
+					t.Fatalf("n=%d key %s: order %v is not a permutation", n, k[2], order)
+				}
+				seen[bi] = true
+			}
+		}
+	}
+}
+
+// TestRingScaleUpMovesOnlyNewKeys: growing the ring from n to n+1
+// backends only moves keys onto the new backend — no key shuffles
+// between surviving backends, which is the point of consistent hashing
+// (adding capacity invalidates only the new backend's slice of every
+// peer's warm cache, not everyone's).
+func TestRingScaleUpMovesOnlyNewKeys(t *testing.T) {
+	keys := cacheGoldenKeys(t)
+	for n := 1; n <= 4; n++ {
+		small, big := NewRing(n, DefaultReplicas), NewRing(n+1, DefaultReplicas)
+		for _, k := range keys {
+			before, after := small.Owner(k[2]), big.Owner(k[2])
+			if after != before && after != n {
+				t.Fatalf("n=%d->%d key %s: owner moved %d -> %d (only the new backend %d may take keys)",
+					n, n+1, k[2], before, after, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reticle/internal/cache"
+	"reticle/internal/faults"
+	"reticle/internal/ir"
+	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+	"reticle/internal/server"
+)
+
+// Fault points in the routing tier, for the chaos suite and operational
+// drills. An armed shard/proxy fault behaves exactly like a dead
+// backend: the attempt fails and the request re-hashes onto the next
+// peer, so RETICLE_FAULTS='shard/proxy=transient:1' is a one-request
+// backend-kill drill.
+var (
+	// FaultPick fires before the ring is consulted for a key.
+	FaultPick = faults.Register("shard/pick-backend", "ring lookup: fail routing before any backend is tried")
+	// FaultProxy fires before each proxy attempt, counting as a transport
+	// failure toward that backend (re-hash, not request failure).
+	FaultProxy = faults.Register("shard/proxy", "per-attempt proxy transport failure: degrade to re-hash")
+)
+
+// Options configures a Router.
+type Options struct {
+	// Backends are the reticle-serve base URLs ("http://host:port"); at
+	// least one is required. Order is identity: the ring hashes backend
+	// positions, so keeping the list order stable across restarts keeps
+	// every backend's key slice (and its warm LRU) stable too.
+	Backends []string
+	// Replicas is the virtual-node count per backend on the ring; <=0
+	// means DefaultReplicas.
+	Replicas int
+	// MaxBodyBytes bounds request bodies; <=0 means 1 MiB.
+	MaxBodyBytes int64
+	// DefaultFamily names the config assumed when a request omits
+	// "family"; empty with exactly one configured family means that one.
+	DefaultFamily string
+	// ProxyTimeout bounds each proxy attempt (not the whole request, so
+	// a re-hash after a slow failure still gets a full budget); 0 means
+	// no per-attempt bound beyond the request's own context.
+	ProxyTimeout time.Duration
+	// HealthInterval is the active /healthz probe period; 0 disables
+	// active probing (passive failure detection still marks backends
+	// down on proxy errors). Start launches the prober; tests that drive
+	// the Router as a bare http.Handler can call StartHealthLoop.
+	HealthInterval time.Duration
+	// Jobs bounds concurrent per-kernel proxy fan-out for /batch; <=0
+	// means 8.
+	Jobs int
+	// DiskDir, when non-empty, enables the router-local persistent
+	// artifact cache: checked before any backend is contacted, written
+	// through on every non-degraded proxied compile. Requests it serves
+	// never reach a backend, so its hits are disjoint from backend cache
+	// hits by construction (see /stats aggregation).
+	DiskDir string
+	// DiskMaxBytes bounds the router disk cache; <=0 means
+	// cache.DefaultDiskBytes.
+	DiskMaxBytes int64
+	// Client overrides the proxy HTTP client (tests inject httptest
+	// clients); nil means a default client with pooled transport.
+	Client *http.Client
+}
+
+// backend is one reticle-serve peer with liveness state. alive flips
+// false on transport failure (passive) or failed probe (active) and
+// true again on any success, so a restarted backend rejoins without
+// router intervention.
+type backend struct {
+	url   string
+	alive atomic.Bool
+}
+
+// Router is the shard tier front end. It implements http.Handler with
+// the same endpoint surface as a single reticle-serve (POST /compile,
+// POST /batch incl. NDJSON streaming, GET /healthz, GET /stats), so
+// clients cannot tell a router from a backend — except that it scales.
+type Router struct {
+	opts     Options
+	configs  map[string]*pipeline.Config
+	ring     *Ring
+	backends []*backend
+	disk     *cache.Disk
+	client   *http.Client
+	mux      *http.ServeMux
+	hs       *http.Server
+	start    time.Time
+
+	stopOnce   sync.Once
+	stopHealth chan struct{}
+	healthDone chan struct{}
+
+	requests atomic.Int64 // HTTP requests accepted
+	proxied  atomic.Int64 // proxy attempts that reached a backend and got an answer
+	rehashes atomic.Int64 // proxy attempts beyond a key's first-choice backend
+	outages  atomic.Int64 // requests that found no live backend at all
+}
+
+// New builds a Router over one pipeline config per family (the same
+// configs its backends run, so cache keys agree across the tier).
+func New(opts Options, configs map[string]*pipeline.Config) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends")
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("shard: no pipeline configs")
+	}
+	for name, cfg := range configs {
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("shard: family %q: %w", name, err)
+		}
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 8
+	}
+	if opts.DefaultFamily == "" && len(configs) == 1 {
+		for name := range configs {
+			opts.DefaultFamily = name
+		}
+	}
+	if opts.DefaultFamily != "" {
+		if _, ok := configs[opts.DefaultFamily]; !ok {
+			return nil, fmt.Errorf("shard: default family %q has no config", opts.DefaultFamily)
+		}
+	}
+	rt := &Router{
+		opts:       opts,
+		configs:    configs,
+		ring:       NewRing(len(opts.Backends), opts.Replicas),
+		client:     opts.Client,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		stopHealth: make(chan struct{}),
+		healthDone: make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
+	}
+	for _, u := range opts.Backends {
+		b := &backend{url: u}
+		b.alive.Store(true)
+		rt.backends = append(rt.backends, b)
+	}
+	if opts.DiskDir != "" {
+		disk, err := cache.OpenDisk(opts.DiskDir, opts.DiskMaxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("shard: disk cache: %w", err)
+		}
+		rt.disk = disk
+	}
+	rt.mux.HandleFunc("POST /compile", rt.recovered(rt.handleCompile))
+	rt.mux.HandleFunc("POST /batch", rt.recovered(rt.handleBatch))
+	rt.mux.HandleFunc("GET /healthz", rt.recovered(rt.handleHealthz))
+	rt.mux.HandleFunc("GET /stats", rt.recovered(rt.handleStats))
+	return rt, nil
+}
+
+// ServeHTTP dispatches to the router mux.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.requests.Add(1)
+	rt.mux.ServeHTTP(w, r)
+}
+
+// Start listens on addr (":0" picks a free port), serves in the
+// background, and launches the active health prober if configured.
+func (rt *Router) Start(addr string) (net.Addr, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	rt.hs = &http.Server{Handler: rt}
+	go rt.hs.Serve(l)
+	rt.StartHealthLoop()
+	return l.Addr(), nil
+}
+
+// ListenAndServe serves on addr until Shutdown, launching the health
+// prober first; it returns http.ErrServerClosed after a graceful
+// shutdown, like http.Server.ListenAndServe.
+func (rt *Router) ListenAndServe(addr string) error {
+	rt.StartHealthLoop()
+	rt.hs = &http.Server{Addr: addr, Handler: rt}
+	return rt.hs.ListenAndServe()
+}
+
+// StartHealthLoop launches the active prober (no-op when
+// Options.HealthInterval is 0 or the router is already stopped).
+func (rt *Router) StartHealthLoop() {
+	if rt.opts.HealthInterval <= 0 {
+		close(rt.healthDone)
+		return
+	}
+	go func() {
+		defer close(rt.healthDone)
+		t := time.NewTicker(rt.opts.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rt.stopHealth:
+				return
+			case <-t.C:
+				rt.probeBackends()
+			}
+		}
+	}()
+}
+
+// probeBackends marks each backend alive/dead from one /healthz probe.
+func (rt *Router) probeBackends() {
+	timeout := rt.opts.HealthInterval
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, "GET", b.url+"/healthz", nil)
+			if err != nil {
+				b.alive.Store(false)
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				b.alive.Store(false)
+				return
+			}
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			b.alive.Store(resp.StatusCode == http.StatusOK)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// Shutdown stops the health prober and gracefully drains the listener,
+// if one was started.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.stopOnce.Do(func() { close(rt.stopHealth) })
+	if rt.hs == nil {
+		return nil
+	}
+	return rt.hs.Shutdown(ctx)
+}
+
+// Families lists the configured family names, sorted.
+func (rt *Router) Families() []string {
+	out := make([]string, 0, len(rt.configs))
+	for name := range rt.configs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Disk exposes the router-local persistent cache (nil when disabled).
+func (rt *Router) Disk() *cache.Disk { return rt.disk }
+
+// BackendAlive reports backend i's current liveness.
+func (rt *Router) BackendAlive(i int) bool { return rt.backends[i].alive.Load() }
+
+// recovered gives router handlers the same panic blast radius as the
+// compile server: a typed 500, never a dead connection.
+func (rt *Router) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				writeTypedError(w, rerr.Wrap(rerr.Permanent, "internal_panic",
+					"internal panic while handling the request",
+					fmt.Errorf("panic: %v", rec)))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// family resolves a request's family name to its config.
+func (rt *Router) family(name string) (string, *pipeline.Config, error) {
+	if name == "" {
+		name = rt.opts.DefaultFamily
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("no family requested and no default configured (have %v)", rt.Families())
+	}
+	cfg, ok := rt.configs[name]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown family %q (have %v)", name, rt.Families())
+	}
+	return name, cfg, nil
+}
+
+// decode reads a size-limited JSON body into dst.
+func (rt *Router) decode(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	body := http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("request: %w", err)
+	}
+	return 0, nil
+}
+
+// proxyOutcome is one routed kernel's terminal proxy result: an HTTP
+// answer from some live backend, or a typed total-outage error.
+type proxyOutcome struct {
+	status int
+	body   []byte
+	err    error
+}
+
+// maxProxyResponse bounds how much of a backend response the router
+// buffers (artifacts are large; unbounded trust is still wrong).
+const maxProxyResponse = 64 << 20
+
+// proxyKernel routes one serialized /compile body by key: the ring's
+// preference order is walked live-backends-first, each transport
+// failure marks the backend dead and re-hashes onto the next peer, and
+// only when every backend (live or not — a dead mark may be stale) has
+// refused does the request fail, with a typed transient error the
+// client can retry. Backend 502/503/504 answers count as refusals too
+// (a draining or overloaded peer re-hashes); every other status,
+// including per-kernel 4xx/422/500, is the backend's authoritative
+// answer and is relayed as-is.
+func (rt *Router) proxyKernel(ctx context.Context, key cache.Key, body []byte) proxyOutcome {
+	if ferr := FaultPick.Fire(ctx); ferr != nil {
+		return proxyOutcome{err: rerr.Wrap(rerr.ClassOf(ferr), "shard_route_failed",
+			"routing failed before any backend was tried", ferr)}
+	}
+	order := rt.ring.Pick(string(key))
+	var lastErr error
+	attempt := 0
+	try := func(bi int) (proxyOutcome, bool) {
+		b := rt.backends[bi]
+		if attempt > 0 {
+			rt.rehashes.Add(1)
+		}
+		attempt++
+		status, respBody, err := rt.postOnce(ctx, b, "/compile", body)
+		if err != nil {
+			lastErr = err
+			b.alive.Store(false)
+			return proxyOutcome{}, false
+		}
+		if status == http.StatusBadGateway || status == http.StatusServiceUnavailable ||
+			status == http.StatusGatewayTimeout {
+			lastErr = fmt.Errorf("backend %s answered %d", b.url, status)
+			return proxyOutcome{}, false
+		}
+		b.alive.Store(true)
+		rt.proxied.Add(1)
+		return proxyOutcome{status: status, body: respBody}, true
+	}
+	// First pass: backends believed alive, in ring preference order.
+	for _, bi := range order {
+		if !rt.backends[bi].alive.Load() {
+			continue
+		}
+		if out, ok := try(bi); ok {
+			return out
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	// Second pass: dead-marked backends — liveness marks are advisory
+	// and a peer may have restarted since it was marked.
+	if ctx.Err() == nil {
+		for _, bi := range order {
+			if rt.backends[bi].alive.Load() {
+				continue
+			}
+			if out, ok := try(bi); ok {
+				return out
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+	}
+	rt.outages.Add(1)
+	if cerr := ctx.Err(); cerr != nil && lastErr == nil {
+		lastErr = cerr
+	}
+	return proxyOutcome{err: rerr.Wrap(rerr.Transient, "no_live_backends",
+		"no live backend could serve the request", lastErr)}
+}
+
+// postOnce performs one proxy attempt against one backend.
+func (rt *Router) postOnce(ctx context.Context, b *backend, path string, body []byte) (int, []byte, error) {
+	if ferr := FaultProxy.Fire(ctx); ferr != nil {
+		return 0, nil, ferr
+	}
+	actx := ctx
+	if rt.opts.ProxyTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, rt.opts.ProxyTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(actx, "POST", b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, respBody, nil
+}
+
+// compileWire mirrors the backend /compile response with the artifact
+// kept raw, so the router can persist it without re-encoding.
+type compileWire struct {
+	Name     string          `json:"name"`
+	Family   string          `json:"family"`
+	Cache    string          `json:"cache"`
+	Key      string          `json:"key"`
+	Artifact json.RawMessage `json:"artifact"`
+}
+
+// artifactDegraded reports whether a raw artifact carries the degraded
+// marker (degraded artifacts are never persisted, matching the compile
+// server's cache policy).
+func artifactDegraded(raw json.RawMessage) bool {
+	var probe struct {
+		Degraded bool `json:"degraded"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return true // unparseable artifact: do not persist it
+	}
+	return probe.Degraded
+}
+
+func (rt *Router) diskGet(ctx context.Context, key cache.Key) (json.RawMessage, bool) {
+	if rt.disk == nil {
+		return nil, false
+	}
+	return rt.disk.Get(ctx, key)
+}
+
+func (rt *Router) diskPut(ctx context.Context, key cache.Key, raw json.RawMessage) {
+	if rt.disk == nil || len(raw) == 0 || artifactDegraded(raw) {
+		return
+	}
+	_ = rt.disk.Put(ctx, key, raw)
+}
+
+func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req server.CompileRequest
+	if code, err := rt.decode(w, r, &req); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	famName, cfg, err := rt.family(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f, err := ir.Parse(req.IR)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
+		return
+	}
+	key := cache.KeyFor(cfg, f)
+	name := req.Name
+	if name == "" {
+		name = f.Name
+	}
+
+	// Router-local second level: a persisted artifact is served without
+	// crossing the network, and without showing up in any backend's
+	// counters — /stats aggregation depends on that disjointness.
+	if raw, ok := rt.diskGet(r.Context(), key); ok {
+		writeJSON(w, http.StatusOK, compileWire{
+			Name: name, Family: famName, Cache: "hit", Key: string(key), Artifact: raw,
+		})
+		return
+	}
+
+	fwd, err := json.Marshal(server.CompileRequest{
+		Name: name, Family: famName, IR: req.IR, TimeoutMS: req.TimeoutMS,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "marshal forward request")
+		return
+	}
+	out := rt.proxyKernel(r.Context(), key, fwd)
+	if out.err != nil {
+		writeTypedError(w, out.err)
+		return
+	}
+	if out.status == http.StatusOK {
+		var cw compileWire
+		if err := json.Unmarshal(out.body, &cw); err == nil {
+			rt.diskPut(r.Context(), key, cw.Artifact)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(out.status)
+	w.Write(out.body)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:   "ok",
+		UptimeMS: time.Since(rt.start).Milliseconds(),
+		Families: rt.Families(),
+	}
+	for _, b := range rt.backends {
+		resp.Backends = append(resp.Backends, BackendHealth{URL: b.url, Alive: b.alive.Load()})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON / writeError / writeTypedError mirror the compile server's
+// wire discipline: every response is JSON, error bodies carry only the
+// typed stable message and code, and retryable statuses get Retry-After.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, server.ErrorResponse{Error: msg, Code: code})
+}
+
+func writeTypedError(w http.ResponseWriter, err error) {
+	status := rerr.HTTPStatus(err)
+	if rerr.Retryable(err) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, server.ErrorResponse{
+		Error:     rerr.Message(err),
+		Code:      status,
+		ErrorCode: rerr.CodeOf(err),
+		Class:     rerr.ClassOf(err).String(),
+	})
+}

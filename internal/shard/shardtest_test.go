@@ -1,0 +1,121 @@
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reticle"
+	"reticle/internal/server"
+)
+
+const maccSrc = `
+def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @??;
+    t1:i8 = add(t0, c) @??;
+    y:i8 = reg[0](t1, en) @??;
+}`
+
+// chainSrc builds a structurally distinct kernel per (name, n): an
+// n-deep add chain, so a sweep of them spreads across the ring.
+func chainSrc(name string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "def %s(a:i8, b:i8) -> (y:i8) {\n", name)
+	prev := "a"
+	for i := 0; i < n; i++ {
+		cur := fmt.Sprintf("t%d", i)
+		fmt.Fprintf(&b, "    %s:i8 = add(%s, b) @??;\n", cur, prev)
+		prev = cur
+	}
+	fmt.Fprintf(&b, "    y:i8 = add(%s, b) @??;\n", prev)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// sweep is n structurally distinct kernels.
+func sweep(n int) []server.BatchKernel {
+	out := make([]server.BatchKernel, n)
+	for i := range out {
+		out[i] = server.BatchKernel{IR: chainSrc(fmt.Sprintf("sw%d", i), i+1)}
+	}
+	return out
+}
+
+// newBackends starts n real reticle-serve instances over httptest and
+// returns them with their base URLs.
+func newBackends(t testing.TB, n int) ([]*httptest.Server, []string) {
+	t.Helper()
+	backends := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range backends {
+		s, err := reticle.NewServer(reticle.ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = httptest.NewServer(s)
+		urls[i] = backends[i].URL
+		t.Cleanup(backends[i].Close) // idempotent; tests may close early
+	}
+	return backends, urls
+}
+
+// newRouter builds a shard router over the given backends. Active
+// health probing stays off so tests exercise the passive (proxy-error)
+// failure detector deterministically.
+func newRouter(t testing.TB, opts reticle.ShardOptions) *reticle.ShardRouter {
+	t.Helper()
+	rt, err := reticle.NewShardRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func post(t testing.TB, h http.Handler, path string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(data))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: response is not JSON: %v\n%s", path, err, w.Body.String())
+		}
+	}
+	return w.Code
+}
+
+func get(t testing.TB, h http.Handler, path string, out any) int {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: response is not JSON: %v\n%s", path, err, w.Body.String())
+		}
+	}
+	return w.Code
+}
+
+// backendStats polls one backend's /stats over real HTTP.
+func backendStats(t testing.TB, url string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatalf("backend stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("backend stats: %v", err)
+	}
+	return st
+}

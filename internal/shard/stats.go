@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"reticle/internal/server"
+)
+
+// HealthResponse is the router's GET /healthz body: the usual service
+// fields plus per-backend liveness.
+type HealthResponse struct {
+	Status   string          `json:"status"`
+	UptimeMS int64           `json:"uptime_ms"`
+	Families []string        `json:"families"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one backend's liveness as the router sees it.
+type BackendHealth struct {
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+}
+
+// BackendStats is one backend's /stats snapshot (nil with Error set
+// when the backend could not be polled).
+type BackendStats struct {
+	URL   string                `json:"url"`
+	Alive bool                  `json:"alive"`
+	Error string                `json:"error,omitempty"`
+	Stats *server.StatsResponse `json:"stats,omitempty"`
+}
+
+// AggregateStats sums the tier's counters without double counting: a
+// request is served by exactly one tier — the router's local disk
+// cache (never forwarded, so invisible to every backend) or some
+// backend's cache/pipeline — so backend cache hits and router disk
+// hits are disjoint by construction and TotalHits is their plain sum.
+type AggregateStats struct {
+	// Kernels is the number of kernels that entered some backend's
+	// pipeline (cache hits excluded), summed across backends.
+	Kernels int64 `json:"kernels"`
+	// BackendCacheHits / BackendCacheMisses sum the backends' in-memory
+	// LRU counters.
+	BackendCacheHits   uint64 `json:"backend_cache_hits"`
+	BackendCacheMisses uint64 `json:"backend_cache_misses"`
+	// DiskHits counts requests the router's local disk cache answered
+	// without touching the network.
+	DiskHits uint64 `json:"disk_hits"`
+	// TotalHits = BackendCacheHits + DiskHits.
+	TotalHits uint64 `json:"total_hits"`
+}
+
+// RouterStatsJSON is the router's own counters.
+type RouterStatsJSON struct {
+	// Proxied counts proxy attempts a backend answered; Rehashes counts
+	// attempts beyond a key's first-choice backend; Outages counts
+	// requests no live backend could serve.
+	Proxied  int64 `json:"proxied"`
+	Rehashes int64 `json:"rehashes"`
+	Outages  int64 `json:"outages"`
+	// Disk is the router-local persistent cache, when configured.
+	Disk *server.DiskStatsJSON `json:"disk,omitempty"`
+}
+
+// StatsResponse is the router's GET /stats body.
+type StatsResponse struct {
+	Requests  int64           `json:"requests"`
+	UptimeMS  int64           `json:"uptime_ms"`
+	Families  []string        `json:"families"`
+	Backends  []BackendStats  `json:"backends"`
+	Aggregate AggregateStats  `json:"aggregate"`
+	Router    RouterStatsJSON `json:"router"`
+}
+
+// pollBackendStats fetches one backend's /stats.
+func (rt *Router) pollBackendStats(ctx context.Context, b *backend) BackendStats {
+	out := BackendStats{URL: b.url, Alive: b.alive.Load()}
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", b.url+"/stats", nil)
+	if err != nil {
+		out.Error = "stats request could not be built"
+		return out
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		out.Error = "backend unreachable"
+		return out
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		out.Error = "backend stats unavailable"
+		return out
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxProxyResponse)).Decode(&st); err != nil {
+		out.Error = "backend stats unreadable"
+		return out
+	}
+	out.Stats = &st
+	return out
+}
+
+// handleStats fans GET /stats into every backend and aggregates the
+// tier's counters. Router-local disk hits are reported once, in the
+// Aggregate.DiskHits / Router.Disk sections — never folded into the
+// backend cache sums they are disjoint from (the no-double-count
+// invariant stats_shard_test.go pins).
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Requests: rt.requests.Load(),
+		UptimeMS: time.Since(rt.start).Milliseconds(),
+		Families: rt.Families(),
+		Backends: make([]BackendStats, len(rt.backends)),
+		Router: RouterStatsJSON{
+			Proxied:  rt.proxied.Load(),
+			Rehashes: rt.rehashes.Load(),
+			Outages:  rt.outages.Load(),
+		},
+	}
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			resp.Backends[i] = rt.pollBackendStats(r.Context(), b)
+		}(i, b)
+	}
+	wg.Wait()
+	for _, bs := range resp.Backends {
+		if bs.Stats == nil {
+			continue
+		}
+		resp.Aggregate.Kernels += bs.Stats.Kernels
+		resp.Aggregate.BackendCacheHits += bs.Stats.Cache.Hits
+		resp.Aggregate.BackendCacheMisses += bs.Stats.Cache.Misses
+	}
+	if rt.disk != nil {
+		ds := server.DiskStatsJSONFrom(rt.disk.Stats())
+		resp.Router.Disk = &ds
+		resp.Aggregate.DiskHits = ds.Hits
+	}
+	resp.Aggregate.TotalHits = resp.Aggregate.BackendCacheHits + resp.Aggregate.DiskHits
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,130 @@
+package shard_test
+
+import (
+	"net/http"
+	"testing"
+
+	"reticle"
+	"reticle/internal/server"
+	"reticle/internal/shard"
+)
+
+// TestShardStatsNoDoubleCount pins the /stats aggregation invariant: a
+// request is served by exactly one tier, so backend cache hits and
+// router-local disk hits are disjoint and TotalHits is their plain sum
+// — a router disk hit must never also appear (or be folded) into the
+// backend counters it kept traffic away from.
+func TestShardStatsNoDoubleCount(t *testing.T) {
+	_, urls := newBackends(t, 2)
+	dir := t.TempDir()
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls, DiskDir: dir})
+
+	// Cold: the kernel crosses the network once and the artifact is
+	// written through to the router disk.
+	var cold server.CompileResponse
+	if code := post(t, rt, "/compile", server.CompileRequest{IR: maccSrc}, &cold); code != http.StatusOK {
+		t.Fatalf("cold compile: %d", code)
+	}
+	if cold.Cache != "miss" {
+		t.Fatalf("cold compile cache %q", cold.Cache)
+	}
+	var st shard.StatsResponse
+	if code := get(t, rt, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	agg := st.Aggregate
+	if agg.Kernels != 1 || agg.BackendCacheMisses != 1 || agg.BackendCacheHits != 0 {
+		t.Fatalf("cold aggregate %+v", agg)
+	}
+	if agg.DiskHits != 0 || agg.TotalHits != 0 {
+		t.Fatalf("cold aggregate claims hits: %+v", agg)
+	}
+	if st.Router.Proxied != 1 {
+		t.Fatalf("cold proxied %d, want 1", st.Router.Proxied)
+	}
+	if st.Router.Disk == nil || st.Router.Disk.Writes != 1 {
+		t.Fatalf("cold router disk %+v", st.Router.Disk)
+	}
+
+	// Warm: the router disk answers; the request never reaches a
+	// backend, so every backend counter is frozen.
+	var warm server.CompileResponse
+	if code := post(t, rt, "/compile", server.CompileRequest{IR: maccSrc}, &warm); code != http.StatusOK {
+		t.Fatalf("warm compile: %d", code)
+	}
+	if warm.Cache != "hit" {
+		t.Fatalf("warm compile cache %q, want hit from the router disk", warm.Cache)
+	}
+	if code := get(t, rt, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	agg = st.Aggregate
+	if agg.DiskHits != 1 {
+		t.Fatalf("warm aggregate disk hits %d, want 1", agg.DiskHits)
+	}
+	if agg.BackendCacheHits != 0 || agg.BackendCacheMisses != 1 || agg.Kernels != 1 {
+		// The regression this test exists for: a disk-served request that
+		// still hit (or was counted against) a backend.
+		t.Fatalf("router disk hit leaked into backend counters: %+v", agg)
+	}
+	if agg.TotalHits != agg.BackendCacheHits+agg.DiskHits {
+		t.Fatalf("total hits %d != backend %d + disk %d", agg.TotalHits, agg.BackendCacheHits, agg.DiskHits)
+	}
+	if st.Router.Proxied != 1 {
+		t.Fatalf("warm request proxied anyway: %d", st.Router.Proxied)
+	}
+
+	// A batch of three copies of the kernel: all served locally, still
+	// zero new proxy traffic, and the sum stays consistent.
+	kernels := []server.BatchKernel{{IR: maccSrc}, {IR: maccSrc}, {IR: maccSrc}}
+	var br server.BatchResponse
+	if code := post(t, rt, "/batch", server.BatchRequest{Kernels: kernels}, &br); code != http.StatusOK {
+		t.Fatalf("batch: %d", code)
+	}
+	for i, res := range br.Results {
+		if !res.OK || res.Cache != "hit" {
+			t.Fatalf("batch kernel %d: %+v", i, res)
+		}
+	}
+	if code := get(t, rt, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	agg = st.Aggregate
+	if agg.DiskHits != 4 || agg.BackendCacheHits != 0 || agg.TotalHits != 4 {
+		t.Fatalf("batch aggregate %+v", agg)
+	}
+	if st.Router.Proxied != 1 {
+		t.Fatalf("disk-served batch proxied traffic: %d", st.Router.Proxied)
+	}
+}
+
+// TestShardDiskSurvivesBackendLoss: the router's persistent cache is a
+// real second tier — a fresh router over the same directory, fronting
+// an entirely dead backend set, still serves every previously compiled
+// kernel byte-for-byte.
+func TestShardDiskSurvivesBackendLoss(t *testing.T) {
+	backends, urls := newBackends(t, 2)
+	dir := t.TempDir()
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls, DiskDir: dir})
+
+	var first server.CompileResponse
+	if code := post(t, rt, "/compile", server.CompileRequest{IR: maccSrc}, &first); code != http.StatusOK {
+		t.Fatalf("cold compile: %d", code)
+	}
+
+	// Router restart plus total backend loss.
+	for _, b := range backends {
+		b.Close()
+	}
+	fresh := newRouter(t, reticle.ShardOptions{Backends: urls, DiskDir: dir})
+	var again server.CompileResponse
+	if code := post(t, fresh, "/compile", server.CompileRequest{IR: maccSrc}, &again); code != http.StatusOK {
+		t.Fatalf("compile over dead tier: %d", code)
+	}
+	if again.Cache != "hit" {
+		t.Fatalf("restarted router cache %q, want hit with every backend dead", again.Cache)
+	}
+	if again.Artifact.Verilog != first.Artifact.Verilog || again.Key != first.Key {
+		t.Fatal("artifact changed across router restart")
+	}
+}

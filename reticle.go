@@ -39,6 +39,7 @@ import (
 	"reticle/internal/pipeline"
 	"reticle/internal/rerr"
 	"reticle/internal/server"
+	"reticle/internal/shard"
 	"reticle/internal/target/agilex"
 	"reticle/internal/target/ultrascale"
 	"reticle/internal/tdl"
@@ -401,6 +402,41 @@ func NewServer(opts ServerOptions) (*Server, error) {
 		opts.DefaultFamily = "ultrascale"
 	}
 	return server.New(opts, map[string]*pipeline.Config{
+		"ultrascale": &us.cfg,
+		"agilex":     &ag.cfg,
+	})
+}
+
+// The distributed compile tier, re-exported from internal/shard.
+type (
+	// ShardRouter is the distributed tier's front end: it
+	// consistent-hashes cache keys across N reticle-serve backends,
+	// health-checks them, re-hashes requests off dead peers, and fronts
+	// the tier with an optional persistent disk cache. It serves the
+	// same endpoints as a Server. cmd/reticle-shard is the standalone
+	// daemon.
+	ShardRouter = shard.Router
+	// ShardOptions configures a ShardRouter (backend URLs, virtual-node
+	// replicas, health-check interval, disk cache).
+	ShardOptions = shard.Options
+)
+
+// NewShardRouter builds the shard router over the same two bundled
+// family configs as NewServer, so router-computed cache keys agree
+// with every backend's.
+func NewShardRouter(opts ShardOptions) (*ShardRouter, error) {
+	us, err := NewCompilerWith(Options{})
+	if err != nil {
+		return nil, err
+	}
+	ag, err := NewCompilerWith(Options{Target: agilex.Target(), Device: agilex.Device()})
+	if err != nil {
+		return nil, err
+	}
+	if opts.DefaultFamily == "" {
+		opts.DefaultFamily = "ultrascale"
+	}
+	return shard.New(opts, map[string]*pipeline.Config{
 		"ultrascale": &us.cfg,
 		"agilex":     &ag.cfg,
 	})

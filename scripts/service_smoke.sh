@@ -9,10 +9,13 @@
 # not just the in-process httptest suites.
 #
 # Usage: scripts/service_smoke.sh [port]
+# The port defaults to $RETICLE_SMOKE_PORT, then 18080, so CI jobs that
+# run several smoke scripts side by side can pin disjoint ports without
+# editing argument lists.
 set -eu
 
 cd "$(dirname "$0")/.."
-port="${1:-18080}"
+port="${1:-${RETICLE_SMOKE_PORT:-18080}}"
 base="http://127.0.0.1:$port"
 tmp="$(mktemp -d)"
 pid=""

@@ -1,0 +1,118 @@
+#!/usr/bin/env sh
+# shard_smoke.sh — end-to-end smoke test of the distributed compile
+# tier: real processes, real ports, real failure.
+#
+# Starts two reticle-serve backends and one reticle-shard router (with
+# a router-local disk cache), then drives the tier the way an operator
+# would watch it fail: a compile through the router must miss, the
+# rerun must hit without touching a backend, and after one backend is
+# SIGKILLed a fresh kernel must still compile — re-hashed onto the
+# survivor with /healthz reporting the corpse. CI runs this so "the
+# shard binaries actually route" is checked per PR, not just the
+# in-process httptest chaos suite.
+#
+# Usage: scripts/shard_smoke.sh [base-port]
+# Uses base-port..base-port+2; defaults to $RETICLE_SMOKE_PORT, then
+# 18090.
+set -eu
+
+cd "$(dirname "$0")/.."
+base_port="${1:-${RETICLE_SMOKE_PORT:-18090}}"
+b1_port="$base_port"
+b2_port="$((base_port + 1))"
+rt_port="$((base_port + 2))"
+router="http://127.0.0.1:$rt_port"
+tmp="$(mktemp -d)"
+pids=""
+
+cleanup() {
+    for p in $pids; do kill "$p" 2>/dev/null || true; done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "shard_smoke: FAIL: $*" >&2
+    for log in serve1 serve2 shard; do
+        [ -f "$tmp/$log.log" ] && sed "s/^/shard_smoke: $log: /" "$tmp/$log.log" >&2
+    done
+    exit 1
+}
+
+wait_up() { # wait_up <url> <what>
+    i=0
+    until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -ge 50 ] && fail "$2 did not come up on $1"
+        sleep 0.2
+    done
+}
+
+go build -o "$tmp/reticle-serve" ./cmd/reticle-serve
+go build -o "$tmp/reticle-shard" ./cmd/reticle-shard
+
+"$tmp/reticle-serve" -addr "127.0.0.1:$b1_port" >"$tmp/serve1.log" 2>&1 &
+b1_pid=$!
+pids="$pids $b1_pid"
+"$tmp/reticle-serve" -addr "127.0.0.1:$b2_port" >"$tmp/serve2.log" 2>&1 &
+b2_pid=$!
+pids="$pids $b2_pid"
+wait_up "http://127.0.0.1:$b1_port" "backend 1"
+wait_up "http://127.0.0.1:$b2_port" "backend 2"
+
+"$tmp/reticle-shard" -addr "127.0.0.1:$rt_port" \
+    -backends "http://127.0.0.1:$b1_port,http://127.0.0.1:$b2_port" \
+    -health-interval 200ms -disk "$tmp/diskcache" >"$tmp/shard.log" 2>&1 &
+rt_pid=$!
+pids="$pids $rt_pid"
+wait_up "$router" "router"
+curl -fsS "$router/healthz" | grep -q '"alive":true' || fail "router sees no live backend"
+
+cat >"$tmp/req.json" <<'JSON'
+{"ir": "def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {\n    t0:i8 = mul(a, b) @??;\n    t1:i8 = add(t0, c) @??;\n    y:i8 = reg[0](t1, en) @??;\n}", "family": "ultrascale"}
+JSON
+
+# Routed compile: miss, then a rerun served by the router's disk tier
+# (zero new proxy traffic), byte-identical artifact.
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$router/compile" >"$tmp/first.json" \
+    || fail "routed /compile failed"
+grep -q '"cache":"miss"' "$tmp/first.json" || fail "first routed compile: $(cat "$tmp/first.json")"
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$router/compile" >"$tmp/second.json" \
+    || fail "routed /compile rerun failed"
+grep -q '"cache":"hit"' "$tmp/second.json" || fail "rerun was not a hit: $(cat "$tmp/second.json")"
+curl -fsS "$router/stats" >"$tmp/stats.json" || fail "router /stats failed"
+grep -q '"disk_hits":1' "$tmp/stats.json" || fail "router disk never hit: $(cat "$tmp/stats.json")"
+grep -q '"proxied":1' "$tmp/stats.json" || fail "rerun was proxied: $(cat "$tmp/stats.json")"
+
+# Kill one backend hard. A structurally new kernel (so the disk tier
+# cannot answer) must still compile: the router re-hashes it onto the
+# survivor.
+kill -9 "$b1_pid" 2>/dev/null || true
+wait "$b1_pid" 2>/dev/null || true
+
+cat >"$tmp/req2.json" <<'JSON'
+{"ir": "def after(a:i8, b:i8) -> (y:i8) {\n    t0:i8 = add(a, b) @??;\n    y:i8 = add(t0, b) @??;\n}", "family": "ultrascale"}
+JSON
+curl -fsS -X POST --data-binary @"$tmp/req2.json" "$router/compile" >"$tmp/after.json" \
+    || fail "compile after backend kill failed"
+grep -q '"verilog":' "$tmp/after.json" || fail "post-kill compile has no artifact: $(cat "$tmp/after.json")"
+
+# The router's health view converges on the corpse (active prober runs
+# every 200ms; give it a moment).
+i=0
+until curl -fsS "$router/healthz" | grep -q '"alive":false'; do
+    i=$((i + 1))
+    [ "$i" -ge 25 ] && fail "router never marked the killed backend dead: $(curl -fsS "$router/healthz")"
+    sleep 0.2
+done
+curl -fsS "$router/healthz" | grep -q '"alive":true' || fail "survivor marked dead too"
+
+# Graceful drain.
+kill -TERM "$rt_pid"
+wait "$rt_pid" || fail "router did not drain cleanly on SIGTERM"
+kill -TERM "$b2_pid"
+wait "$b2_pid" || fail "surviving backend did not drain cleanly"
+pids=""
+
+echo "shard_smoke: OK (routed miss -> disk hit, backend kill absorbed, dead peer reported, clean drain)"
