@@ -92,10 +92,10 @@ type diskEntry struct {
 }
 
 // Disk is the persistent second-level cache. All methods are safe for
-// concurrent use; the index mutex is held across file I/O, which keeps
-// the write-temp-then-rename and eviction sequences atomic with respect
-// to each other (disk operations are rare next to compiles, so the
-// serialization is not a hot path).
+// concurrent use. Put stages its temp file outside the index mutex
+// (each writer gets a unique temp name, so staging needs no exclusion)
+// and takes the lock only for the rename and index update; Get holds
+// the lock across its read so eviction cannot race a served artifact.
 type Disk struct {
 	mu    sync.Mutex
 	root  string
@@ -278,26 +278,40 @@ func (d *Disk) Get(ctx context.Context, key Key) ([]byte, bool) {
 }
 
 // Put persists data under key: temp write in the cache root, fsync-free
-// rename into place, then LRU accounting and eviction. The returned
-// error is advisory — callers count it and move on; the artifact they
-// are about to serve is already in memory.
+// rename into place, then LRU accounting and eviction. The temp write —
+// the expensive part for a large artifact — happens outside the index
+// lock; each writer stages to its own unique temp file, so concurrent
+// Puts never clobber each other and Gets are never stalled behind a
+// multi-megabyte write. The returned error is advisory — callers count
+// it and move on; the artifact they are about to serve is already in
+// memory.
 func (d *Disk) Put(ctx context.Context, key Key, data []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if err := FaultDiskWrite.Fire(ctx); err != nil {
-		d.writeErrors++
-		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
+		return d.failPut(rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err))
 	}
 	name := diskFileName(key)
 	path := filepath.Join(d.root, name)
-	tmp := path + ".tmp"
 	framed := encodeDiskFile(key, data)
-	if err := os.WriteFile(tmp, framed, 0o644); err != nil {
-		d.writeErrors++
-		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
+	tmp, err := os.CreateTemp(d.root, name+".*.tmp")
+	if err != nil {
+		return d.failPut(rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err))
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if _, err := tmp.Write(framed); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return d.failPut(rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return d.failPut(rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err))
+	}
+	// CreateTemp opens 0600; artifacts are world-readable like before.
+	os.Chmod(tmp.Name(), 0o644)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
 		d.writeErrors++
 		return rerr.Wrap(rerr.Transient, "disk_cache_write", "disk cache write failed", err)
 	}
@@ -314,6 +328,15 @@ func (d *Disk) Put(ctx context.Context, key Key, data []byte) error {
 	d.writes++
 	d.evictLocked()
 	return nil
+}
+
+// failPut counts a write failure under the lock and passes the error
+// through, for Put paths that run outside the index mutex.
+func (d *Disk) failPut(err error) error {
+	d.mu.Lock()
+	d.writeErrors++
+	d.mu.Unlock()
+	return err
 }
 
 // Remove drops key from the disk cache if present.

@@ -223,7 +223,13 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Bounded fan-out: `jobs` proxy workers pull deduped kernels off a
 	// queue; each job's outcome is published exactly once via its done
-	// channel, so the emitters below never race a worker.
+	// channel, so the emitters below never race a worker. A worker can
+	// never do more than one job's work at once, so the client-supplied
+	// count is clamped to the deduped job count — without this a request
+	// claiming {"jobs": 1e9} would spawn a billion idle goroutines.
+	if jobs > len(plan.jobs) {
+		jobs = len(plan.jobs)
+	}
 	queue := make(chan *routeJob)
 	for g := 0; g < jobs; g++ {
 		go func() {
@@ -234,15 +240,19 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() {
 		defer close(queue)
-		for _, j := range plan.jobs {
+		for i, j := range plan.jobs {
 			select {
 			case queue <- j:
 			case <-r.Context().Done():
-				// Never dispatched: resolve as a typed cancellation so the
-				// emitters don't block on a job no worker will run.
-				j.res.Error = "request cancelled before the kernel was routed"
-				j.res.ErrorCode = "cancelled"
-				close(j.done)
+				// Resolve this job and every later undispatched one as a
+				// typed cancellation: each done must still close exactly
+				// once, or the emitters below block forever and leak the
+				// handler on every mid-dispatch disconnect.
+				for _, rest := range plan.jobs[i:] {
+					rest.res.Error = "request cancelled before the kernel was routed"
+					rest.res.ErrorCode = "cancelled"
+					close(rest.done)
+				}
 				return
 			}
 		}

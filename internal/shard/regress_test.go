@@ -1,0 +1,100 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"reticle"
+	"reticle/internal/server"
+)
+
+// TestRouterBatchClampsJobs: the client-supplied worker count is
+// clamped to the deduped job count. Before the clamp, a request
+// claiming an absurd jobs value made the router spawn that many
+// goroutines — this test would hang or OOM instead of finishing.
+func TestRouterBatchClampsJobs(t *testing.T) {
+	_, urls := newBackends(t, 2)
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls})
+
+	var br server.BatchResponse
+	if code := post(t, rt, "/batch", server.BatchRequest{Jobs: 1 << 30, Kernels: sweep(3)}, &br); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if br.Stats.Succeeded != 3 {
+		t.Fatalf("batch stats %+v, want 3 successes", br.Stats)
+	}
+}
+
+// TestRouterBatchCancelMidDispatchResolvesAllJobs: when the client
+// disconnects while jobs are still queued, every undispatched job must
+// still resolve (done closed exactly once) so the emitters finish and
+// the handler goroutine exits. Before the fix, only the job currently
+// being dispatched was resolved; the rest blocked the handler forever
+// on every mid-dispatch disconnect.
+func TestRouterBatchCancelMidDispatchResolvesAllJobs(t *testing.T) {
+	entered := make(chan struct{}, 16)
+	release := make(chan struct{})
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		// Hold the in-flight proxy; the test releases it at the end so
+		// backend.Close does not wait on this handler.
+		<-release
+	}))
+	defer backend.Close()
+	defer close(release)
+	rt := newRouter(t, reticle.ShardOptions{Backends: []string{backend.URL}})
+
+	body, err := json.Marshal(server.BatchRequest{Jobs: 1, Kernels: sweep(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("POST", "/batch", bytes.NewReader(body)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	handlerDone := make(chan struct{})
+	go func() {
+		defer close(handlerDone)
+		rt.ServeHTTP(w, req)
+	}()
+
+	// The single worker is now stuck inside the backend; with Jobs=1 the
+	// dispatcher is blocked handing over the second of four jobs.
+	<-entered
+	cancel()
+
+	select {
+	case <-handlerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler leaked: undispatched jobs never resolved after cancellation")
+	}
+}
+
+// TestRouterRefusesOversizedBackendResponse: a backend body past the
+// proxy cap must be refused as a transport failure (re-hash, then a
+// typed outage with one backend), never truncated and relayed to the
+// client as a well-formed 200.
+func TestRouterRefusesOversizedBackendResponse(t *testing.T) {
+	huge := bytes.Repeat([]byte("x"), 64<<20+1)
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(huge)
+	}))
+	defer backend.Close()
+	rt := newRouter(t, reticle.ShardOptions{Backends: []string{backend.URL}})
+
+	var er server.ErrorResponse
+	code := post(t, rt, "/compile", server.CompileRequest{IR: maccSrc}, &er)
+	if code == http.StatusOK {
+		t.Fatal("router relayed a truncated oversized backend body as success")
+	}
+	if er.ErrorCode != "no_live_backends" {
+		t.Fatalf("error code %q, want no_live_backends", er.ErrorCode)
+	}
+}

@@ -431,9 +431,15 @@ func (rt *Router) postOnce(ctx context.Context, b *backend, path string, body []
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse))
+	// Read one byte past the cap so an over-limit body is detected and
+	// refused as a transport failure (re-hash onto the next peer) instead
+	// of being truncated and relayed as a well-formed success.
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse+1))
 	if err != nil {
 		return 0, nil, err
+	}
+	if len(respBody) > maxProxyResponse {
+		return 0, nil, fmt.Errorf("backend %s response exceeds %d bytes", b.url, maxProxyResponse)
 	}
 	return resp.StatusCode, respBody, nil
 }
