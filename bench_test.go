@@ -23,6 +23,7 @@ import (
 
 	"reticle/internal/bench"
 	"reticle/internal/eval"
+	"reticle/internal/hintcache"
 	"reticle/internal/ir"
 	"reticle/internal/isel"
 	"reticle/internal/place"
@@ -256,6 +257,64 @@ func BenchmarkPlaceShrink(b *testing.B) {
 		b.ReportMetric(float64(ps.HintHits)/float64(ps.HintTried), "hint-hit-rate")
 	}
 	b.ReportMetric(float64(art.Stages.Place.Nanoseconds()), "place-ns")
+}
+
+// tweakEditConstants bumps every const and reg-init value by delta —
+// the canonical incremental edit: a new artifact with an identical
+// structural hash, so the placement hint cache should adopt the
+// recorded solution.
+func tweakEditConstants(f *ir.Func, delta int64) {
+	for i := range f.Body {
+		if f.Body[i].Op == ir.OpConst || f.Body[i].Op == ir.OpReg {
+			attrs := append([]int64(nil), f.Body[i].Attrs...)
+			for k := range attrs {
+				attrs[k] += delta
+			}
+			f.Body[i].Attrs = attrs
+		}
+	}
+}
+
+// BenchmarkEditReplay measures the incremental edit loop the placement
+// hint cache accelerates: a warm full compile of tensordot 5x36, then
+// one constant-tweaked recompile per iteration against the same hint
+// store. hint-cache-hit-rate should sit at 1.0 and steps-per-edit at
+// ~0; steps-per-edit is gated by scripts/bench_compare.sh so the
+// adoption path cannot silently start re-solving.
+func BenchmarkEditReplay(b *testing.B) {
+	base, err := bench.TensorDot(5, 36)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCompilerWith(Options{Shrink: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.cfg.HintCache = hintcache.New(64)
+	cold, err := c.Compile(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldSteps := cold.Place.SolverSteps
+
+	var hits, steps, saved int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := base.Clone()
+		tweakEditConstants(f, int64(i%100+1))
+		art, err := c.Compile(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits += art.Place.HintCacheHits
+		steps += art.Place.SolverSteps
+		saved += art.Place.HintCacheStepsSaved
+	}
+	edits := float64(b.N)
+	b.ReportMetric(float64(hits)/edits, "hint-cache-hit-rate")
+	b.ReportMetric(float64(steps)/edits, "steps-per-edit")
+	b.ReportMetric(float64(saved)/edits, "steps-saved-per-edit")
+	b.ReportMetric(float64(coldSteps), "cold-steps")
 }
 
 // BenchmarkAblationCascade compares tensordot timing with and without the

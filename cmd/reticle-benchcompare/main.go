@@ -9,11 +9,12 @@
 //	reticle-benchcompare [-threshold 0.20] [-filter regexp] base.json head.json
 //
 // Only benchmarks whose name matches -filter (default: the placement
-// and CSP-solver benchmarks) are compared, and only on metrics where
-// lower is better: ns_per_op plus the counter metrics the placement
-// benchmarks report (solver-steps, shrink-probes, steps-per-probe,
-// place-ns). Rate metrics where higher is better (hint-hit-rate,
-// probes-skipped) are never treated as regressions.
+// and CSP-solver benchmarks plus BenchmarkEditReplay) are compared, and
+// only on metrics where lower is better: ns_per_op plus the counter
+// metrics the placement benchmarks report (solver-steps, shrink-probes,
+// steps-per-probe, steps-per-edit, place-ns). Rate metrics where higher
+// is better (hint-hit-rate, hint-cache-hit-rate, probes-skipped) are
+// never treated as regressions.
 //
 // Exit status: 0 when no compared metric regressed, 1 on regression,
 // 2 on usage or parse errors.
@@ -50,6 +51,7 @@ var lowerIsBetter = map[string]bool{
 	"solver-steps":    true,
 	"shrink-probes":   true,
 	"steps-per-probe": true,
+	"steps-per-edit":  true,
 	"place-ns":        true,
 	"B/op":            true,
 	"allocs/op":       true,
@@ -135,7 +137,7 @@ func inf() float64 {
 func main() {
 	threshold := flag.Float64("threshold", 0.20,
 		"fail when head exceeds base by more than this fraction")
-	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place`,
+	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place|EditReplay`,
 		"regexp of benchmark names to compare (placement-stage by default)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reticle-benchcompare [-threshold 0.20] [-filter regexp] base.json head.json")

@@ -7,6 +7,7 @@
 //
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
 //	              [-max-inflight 0] [-disk DIR] [-disk-bytes N]
+//	              [-hint-cache 512] [-no-hint-cache]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
@@ -44,16 +45,20 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "admitted concurrent compile/batch requests before shedding 429s (0 = unlimited)")
 	diskDir := flag.String("disk", "", "persistent second-level artifact cache directory (empty = disabled)")
 	diskBytes := flag.Int64("disk-bytes", 0, "disk cache size bound in bytes (0 = default)")
+	hintEntries := flag.Int("hint-cache", 0, "placement hint cache entries (0 = default); with -disk, hints persist under DIR/hints")
+	noHints := flag.Bool("no-hint-cache", false, "disable the placement hint cache (every compile solves cold)")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
-		CacheEntries:   *cacheEntries,
-		MaxBodyBytes:   *maxBody,
-		DefaultTimeout: *timeout,
-		Jobs:           *jobs,
-		MaxInFlight:    *maxInFlight,
-		DiskDir:        *diskDir,
-		DiskMaxBytes:   *diskBytes,
+		CacheEntries:     *cacheEntries,
+		MaxBodyBytes:     *maxBody,
+		DefaultTimeout:   *timeout,
+		Jobs:             *jobs,
+		MaxInFlight:      *maxInFlight,
+		DiskDir:          *diskDir,
+		DiskMaxBytes:     *diskBytes,
+		HintCacheEntries: *hintEntries,
+		NoHintCache:      *noHints,
 	})
 	if err != nil {
 		log.Fatal("reticle-serve: ", err)

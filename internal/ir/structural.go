@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+)
+
+// StructuralHash returns a hex-encoded SHA-256 over the *shape* of the
+// function: everything that survives a small interactive edit is in the
+// hash, everything such an edit touches is not. It is the key of the
+// placement hint cache (internal/hintcache): two functions with equal
+// structural hashes present the compiler with the same selection and
+// placement problem modulo constant values, so anchors recorded for one
+// are a warm start for the other.
+//
+// Compared to CanonicalHash, which is the artifact identity, the
+// structural hash additionally ignores:
+//
+//   - the function name;
+//   - ALL identifier spellings — ports are numbered positionally, not by
+//     name, so renaming an input or output (which changes the Verilog
+//     module interface and therefore the artifact) still hits the same
+//     hint bucket;
+//   - constant *values*: the lane values of `const` and the initial
+//     values of `reg` are masked down to their lane count. The value of
+//     a constant cannot move an instruction between primitives, but its
+//     lane count is part of the type shape, so it stays.
+//
+// Everything placement can observe remains significant: port order and
+// types, instruction order, opcodes, destination types, argument
+// connectivity, compute resource annotations, and the structural
+// attributes — shift amounts (they select wiring patterns) and slice
+// ranges (they select bits). Any op swap, width change, or edge rewire
+// therefore changes the hash, which FuzzStructuralHash locks in.
+func StructuralHash(f *Func) string {
+	h := sha256.New()
+	buf := make([]byte, 0, 256)
+	emit := func(parts ...string) {
+		buf = buf[:0]
+		for _, p := range parts {
+			buf = append(buf, p...)
+			buf = append(buf, 0) // unambiguous field separator
+		}
+		h.Write(buf)
+	}
+
+	emit("sfunc")
+	// Every name is canonical-positional: ports in declaration order,
+	// temporaries in definition order, free (undefined) names in first-use
+	// order. The "p:"/"t:"/"f:" tags keep the namespaces disjoint.
+	canon := make(map[string]string, len(f.Inputs)+len(f.Outputs)+len(f.Body))
+	ports := 0
+	for _, p := range f.Inputs {
+		canon[p.Name] = "p:" + strconv.Itoa(ports)
+		ports++
+		emit("in", p.Type.String())
+	}
+	for _, p := range f.Outputs {
+		if _, ok := canon[p.Name]; !ok {
+			canon[p.Name] = "p:" + strconv.Itoa(ports)
+			ports++
+		}
+		emit("out", canon[p.Name], p.Type.String())
+	}
+	temps, frees := 0, 0
+	for _, in := range f.Body {
+		if _, ok := canon[in.Dest]; !ok {
+			canon[in.Dest] = "t:" + strconv.Itoa(temps)
+			temps++
+		}
+	}
+	name := func(n string) string {
+		if c, ok := canon[n]; ok {
+			return c
+		}
+		c := "f:" + strconv.Itoa(frees)
+		frees++
+		canon[n] = c
+		return c
+	}
+
+	for _, in := range f.Body {
+		res := ""
+		if in.IsCompute() {
+			res = in.Res.String()
+		}
+		parts := make([]string, 0, 6+len(in.Attrs)+len(in.Args))
+		parts = append(parts, "ins", name(in.Dest), in.Type.String(), in.Op.String())
+		if in.Op == OpConst || in.Op == OpReg {
+			// Constant values are exactly what a small edit tweaks; only
+			// the lane shape of the attribute list is structural.
+			parts = append(parts, "#"+strconv.Itoa(len(in.Attrs)))
+		} else {
+			for _, a := range in.Attrs {
+				parts = append(parts, strconv.FormatInt(a, 10))
+			}
+		}
+		parts = append(parts, "|")
+		for _, a := range in.Args {
+			parts = append(parts, name(a))
+		}
+		parts = append(parts, res)
+		emit(parts...)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,240 @@
+package ir
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// renamePorts rewrites every input/output port name (and the function
+// name) with a salted spelling, consistently across the interface and
+// the body. StructuralHash numbers ports positionally, so the result
+// must hash equal; CanonicalHash keys the artifact on the interface, so
+// it must not.
+func renamePorts(f *Func, salt string) *Func {
+	ren := map[string]string{}
+	n := 0
+	fresh := func(name string) string {
+		if r, ok := ren[name]; ok {
+			return r
+		}
+		r := "port" + salt + strconv.Itoa(n)
+		n++
+		ren[name] = r
+		return r
+	}
+	out := f.Clone()
+	out.Name = f.Name + "_" + salt
+	for i := range out.Inputs {
+		out.Inputs[i].Name = fresh(out.Inputs[i].Name)
+	}
+	for i := range out.Outputs {
+		out.Outputs[i].Name = fresh(out.Outputs[i].Name)
+	}
+	sub := func(name string) string {
+		if r, ok := ren[name]; ok {
+			return r
+		}
+		return name
+	}
+	for i := range out.Body {
+		out.Body[i].Dest = sub(out.Body[i].Dest)
+		for j := range out.Body[i].Args {
+			out.Body[i].Args[j] = sub(out.Body[i].Args[j])
+		}
+	}
+	return out
+}
+
+// rewriteConstants bumps the value attributes of every const and reg by
+// delta, leaving the lane count (attr arity) unchanged.
+func rewriteConstants(f *Func, delta int64) *Func {
+	out := f.Clone()
+	for i := range out.Body {
+		if out.Body[i].Op == OpConst || out.Body[i].Op == OpReg {
+			attrs := append([]int64(nil), out.Body[i].Attrs...)
+			for k := range attrs {
+				attrs[k] += delta
+			}
+			out.Body[i].Attrs = attrs
+		}
+	}
+	return out
+}
+
+const structProg = `
+def edit(a:i8, b:i8, en:bool) -> (y:i8) {
+    k:i8 = const[7];
+    t0:i8 = mul(a, b) @dsp;
+    t1:i8 = add(t0, k) @??;
+    s:i8 = sll[2](t1);
+    y:i8 = reg[0](s, en) @lut;
+}`
+
+// TestStructuralHashEditInvariance: the two edits the hint cache exists
+// for — constant value tweaks and identifier renames (temporaries,
+// ports, the function name) — never move a program out of its hint
+// bucket.
+func TestStructuralHashEditInvariance(t *testing.T) {
+	f := mustParse(t, structProg)
+	h := StructuralHash(f)
+	if len(h) != 64 {
+		t.Fatalf("expected 64 hex chars, got %d", len(h))
+	}
+	for _, delta := range []int64{1, -7, 100} {
+		if got := StructuralHash(rewriteConstants(f, delta)); got != h {
+			t.Errorf("const values +%d changed the structural hash", delta)
+		}
+	}
+	for round := 0; round < 4; round++ {
+		salt := string(rune('a' + round))
+		if got := StructuralHash(alphaRename(f, salt)); got != h {
+			t.Errorf("alpha-renamed temporaries changed the structural hash")
+		}
+		if got := StructuralHash(renamePorts(f, salt)); got != h {
+			t.Errorf("renamed ports changed the structural hash")
+		}
+		if got := StructuralHash(renamePorts(alphaRename(f, salt), salt)); got != h {
+			t.Errorf("combined rename changed the structural hash")
+		}
+	}
+	// The same edits DO change the canonical hash (they change the
+	// artifact): the two hashes must stay distinct identities.
+	if CanonicalHash(renamePorts(f, "x")) == CanonicalHash(f) {
+		t.Error("port rename should change the canonical hash")
+	}
+	if CanonicalHash(rewriteConstants(f, 1)) == CanonicalHash(f) {
+		t.Error("const tweak should change the canonical hash")
+	}
+}
+
+// TestStructuralHashMutations: every structure-changing mutation — op
+// swap, width change, edge rewire, lane-count change, structural attrs,
+// resource annotation, instruction insertion — lands in a different
+// hint bucket, pairwise.
+func TestStructuralHashMutations(t *testing.T) {
+	base := StructuralHash(mustParse(t, structProg))
+	mutations := map[string]string{
+		"op-swap":      strings.Replace(structProg, "add(t0, k)", "sub(t0, k)", 1),
+		"width":        strings.ReplaceAll(structProg, "i8", "i16"),
+		"edge-rewire":  strings.Replace(structProg, "mul(a, b)", "mul(a, a)", 1),
+		"arg-order":    strings.Replace(structProg, "add(t0, k)", "add(k, t0)", 1),
+		"shift-attr":   strings.Replace(structProg, "sll[2]", "sll[3]", 1),
+		"resource":     strings.Replace(structProg, "mul(a, b) @dsp", "mul(a, b) @lut", 1),
+		"extra-instr":  strings.Replace(structProg, "y:i8 = reg", "t2:i8 = add(s, k) @??;\n    y:i8 = reg", 1),
+		"extra-input":  strings.Replace(structProg, "en:bool)", "en:bool, zz:i8)", 1),
+		"output-moved": strings.NewReplacer("(y:i8)", "(s:i8)", "s:i8 = sll", "q:i8 = sll", "reg[0](s, en)", "reg[0](q, en)", "y:i8 = reg", "s:i8 = reg").Replace(structProg),
+	}
+	seen := map[string]string{base: "base"}
+	for label, src := range mutations {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: mutation does not parse: %v\n%s", label, err, src)
+		}
+		h := StructuralHash(f)
+		if h == base {
+			t.Errorf("%s: structural mutation did not change the hash", label)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("%s: hash collides with %s", label, prev)
+		}
+		seen[h] = label
+	}
+	// Constant values are masked down to their attribute *count*, so the
+	// count itself must stay structural: a const with more lanes of
+	// attributes is a different shape even at the same destination type.
+	f := mustParse(t, structProg)
+	f.Body[0].Attrs = append(append([]int64(nil), f.Body[0].Attrs...), 7)
+	if StructuralHash(f) == base {
+		t.Error("const attribute arity did not change the hash")
+	}
+}
+
+// TestStructuralHashStable: deterministic across calls and clones.
+func TestStructuralHashStable(t *testing.T) {
+	f := mustParse(t, structProg)
+	if StructuralHash(f) != StructuralHash(f.Clone()) {
+		t.Error("structural hash differs across clones")
+	}
+}
+
+// mutateStructure applies one of the guaranteed-structural mutations to
+// instruction i of f, returning false when none applies. Every returned
+// mutation changes what StructuralHash emits, so the fuzz target may
+// assert a hash difference unconditionally.
+func mutateStructure(f *Func, i int, pick byte) bool {
+	in := &f.Body[i]
+	switch pick % 3 {
+	case 0: // op swap within arity
+		swaps := map[Op]Op{OpAdd: OpSub, OpSub: OpAdd, OpMul: OpAdd, OpAnd: OpOr, OpOr: OpAnd, OpId: OpNot, OpNot: OpId}
+		to, ok := swaps[in.Op]
+		if !ok {
+			return false
+		}
+		in.Op = to
+		return true
+	case 1: // width change on the destination type
+		in.Type = Vector(in.Type.Width()+1, in.Type.Lanes())
+		return true
+	default: // edge rewire: point an arg at a different input port
+		if len(in.Args) == 0 {
+			return false
+		}
+		// Canonical naming is injective on source names, so swapping an
+		// arg for any *different* name changes the emitted byte stream
+		// at this instruction unconditionally.
+		j := int(pick) % len(in.Args)
+		for _, p := range f.Inputs {
+			if p.Name != in.Args[j] {
+				in.Args[j] = p.Name
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// FuzzStructuralHash drives the two contracts over arbitrary parsed
+// programs: constant rewrites and alpha renames are hash-neutral;
+// op swaps, width changes, and edge rewires are not. The checked-in
+// corpus under testdata/fuzz/FuzzStructuralHash pins the collision
+// regressions found while developing the hash (wire-resource bits,
+// output/input aliasing, free-name numbering).
+func FuzzStructuralHash(f *testing.F) {
+	seeds := []string{
+		structProg,
+		hashMacc,
+		`def f(a:i8, b:i8) -> (y:i8) { y:i8 = add(a, b) @??; }`,
+		`def v(a:i8<4>, b:i8<4>) -> (y:i8<4>) { t:i8<4> = mul(a, b) @dsp; y:i8<4> = add(t, a) @??; }`,
+		`def w(x:bool) -> (t2:i8) { t0:i8 = const[5]; t1:i8 = sll[1](t0); t2:i8 = add(t0, t1) @??; }`,
+		`def m(a:i8, s:bool) -> (y:i8) { t0:i8 = const[3]; y:i8 = mux(s, a, t0) @lut; }`,
+		`def sl(a:i8<4>) -> (y:i8) { y:i8 = slice[2](a); }`,
+	}
+	for i, s := range seeds {
+		f.Add(s, int64(i+1), byte(i))
+	}
+	f.Fuzz(func(t *testing.T, src string, delta int64, pick byte) {
+		fn, err := Parse(src)
+		if err != nil || len(fn.Body) == 0 {
+			return
+		}
+		h := StructuralHash(fn)
+		if h != StructuralHash(fn.Clone()) {
+			t.Fatal("structural hash not deterministic")
+		}
+		// Edit-invariance: constant rewrite and alpha rename.
+		if got := StructuralHash(rewriteConstants(fn, delta)); got != h {
+			t.Fatalf("const rewrite (+%d) changed the structural hash\n%s", delta, src)
+		}
+		if got := StructuralHash(renamePorts(alphaRename(fn, "fz"), "fz")); got != h {
+			t.Fatalf("alpha rename changed the structural hash\n%s", src)
+		}
+		// Structure sensitivity: one targeted mutation, when applicable.
+		mut := fn.Clone()
+		if mutateStructure(mut, int(pick)%len(mut.Body), pick) {
+			if StructuralHash(mut) == h {
+				t.Fatalf("structural mutation did not change the hash\nbase:\n%s\nmutant:\n%s", fn, mut)
+			}
+		}
+	})
+}

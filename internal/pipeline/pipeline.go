@@ -14,6 +14,8 @@ package pipeline
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -77,6 +79,43 @@ type Config struct {
 	// it cannot change a non-degraded artifact, and degraded artifacts
 	// are never cached (see internal/server, reticle.CompileCached).
 	SolverTimeout time.Duration
+
+	// HintCache, when set, is consulted before placement under the
+	// structural key HintKeyFor(cfg, f) and fed the recorded anchors of
+	// every successful non-degraded placement. An exact-signature hit is
+	// adopted outright (zero solver steps); otherwise the compile runs
+	// cold exactly as if the cache were nil. Excluded from Fingerprint
+	// on purpose: adoption is signature-checked inside internal/place,
+	// so the cache can accelerate a compile but never change its output.
+	HintCache HintCache
+}
+
+// HintCache is the cross-request placement hint store the pipeline
+// consults (see internal/hintcache for the implementation). Defined here
+// as an interface because internal/cache imports pipeline for the
+// artifact key — the concrete store must live downstream of this
+// package. Implementations must be safe for concurrent use, and Lookup
+// must degrade to nil (a cold solve) on any internal failure.
+type HintCache interface {
+	// Lookup returns the anchors recorded under key, or nil.
+	Lookup(ctx context.Context, key string) *place.Anchors
+	// Record stores the anchors of a successful non-degraded placement.
+	Record(ctx context.Context, key string, a *place.Anchors)
+}
+
+// HintKeyFor returns the placement hint cache key for compiling f under
+// cfg: SHA-256 over the structural hash (ir.StructuralHash — constant
+// values and identifier spellings masked) joined with the config
+// fingerprint. Two compiles with equal hint keys present the placement
+// stage with the same problem shape, so one's anchors warm-start the
+// other. Lowercase hex, so it doubles as an on-disk hint store filename
+// (cache.Disk keeps 8-128 char hex keys as their own file names).
+func HintKeyFor(cfg *Config, f *ir.Func) string {
+	h := sha256.New()
+	h.Write([]byte(ir.StructuralHash(f)))
+	h.Write([]byte{0})
+	h.Write([]byte(cfg.Fingerprint()))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Validate reports whether the config is complete enough to compile.
@@ -165,6 +204,13 @@ type PlaceStats struct {
 	// probe solves, HintTried variables carried their previous anchor as
 	// a hint and HintHits kept it.
 	HintHits, HintTried int
+	// HintCacheHits counts compiles whose placement adopted a
+	// cross-request hint-cache solution outright (zero solver steps);
+	// HintCacheStepsSaved totals the cold solver steps those adoptions
+	// avoided (the recording compile's step count). Full artifact-cache
+	// hits skip the pipeline entirely and count in neither.
+	HintCacheHits       int
+	HintCacheStepsSaved int
 }
 
 // Add accumulates another compilation's counters, for batch totals.
@@ -174,6 +220,8 @@ func (p *PlaceStats) Add(o PlaceStats) {
 	p.ProbesSkipped += o.ProbesSkipped
 	p.HintHits += o.HintHits
 	p.HintTried += o.HintTried
+	p.HintCacheHits += o.HintCacheHits
+	p.HintCacheStepsSaved += o.HintCacheStepsSaved
 }
 
 // Artifact is a completed compilation.
@@ -208,6 +256,10 @@ type Artifact struct {
 	SolverSteps int
 	// Place carries the full placement solver counters.
 	Place PlaceStats
+	// WarmStart reports how placement used the hint cache: "adopted"
+	// (recorded solution taken outright, zero solver steps), or ""
+	// (cold solve — including every compile with no hint cache wired).
+	WarmStart string
 
 	// Degraded reports a budget-truncated placement: either placement
 	// fell back to the greedy first-fit placer after the CSP solver
@@ -300,8 +352,20 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		MaxSteps:      cfg.MaxSolverSteps,
 		SolverTimeout: cfg.SolverTimeout,
 	}
+	// Cross-request warm start: look up recorded anchors under the
+	// structural key. Note HintSeed stays false — the pipeline only
+	// accepts the exact-adoption path, never best-effort seeding, so a
+	// cached artifact is byte-identical whether or not the hint cache
+	// held anything (see internal/place/hints.go).
+	hintKey := ""
+	if cfg.HintCache != nil {
+		hintKey = HintKeyFor(cfg, f)
+		popts.Hints = cfg.HintCache.Lookup(ctx, hintKey)
+	}
 	var placedFn *asm.Func
 	var placeStats PlaceStats
+	var anchors *place.Anchors
+	warmStart := ""
 	degraded := false
 	degradedReason := ""
 	if cfg.TimingDriven {
@@ -320,6 +384,7 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 			HintHits:      ref.HintHits,
 			HintTried:     ref.HintTried,
 		}
+		anchors, warmStart = ref.Anchors, ref.WarmStart
 		degraded, degradedReason = ref.Degraded, ref.DegradedReason
 	} else {
 		placed, err := place.PlaceContext(ctx, af, cfg.Device, popts)
@@ -334,7 +399,18 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 			HintHits:      placed.HintHits,
 			HintTried:     placed.HintTried,
 		}
+		anchors, warmStart = placed.Anchors, placed.WarmStart
 		degraded, degradedReason = placed.Degraded, placed.DegradedReason
+	}
+	if warmStart == "adopted" && anchors != nil {
+		placeStats.HintCacheHits = 1
+		placeStats.HintCacheStepsSaved = anchors.ColdSteps
+	}
+	// Record only fresh cold solutions: degraded placements carry no
+	// anchors (place never records them), and an adoption would just
+	// re-store the entry it was served from.
+	if cfg.HintCache != nil && anchors != nil && warmStart != "adopted" {
+		cfg.HintCache.Record(ctx, hintKey, anchors)
 	}
 	stages.Place = time.Since(tp)
 
@@ -377,6 +453,7 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		CascadeChains:  chains,
 		SolverSteps:    placeStats.SolverSteps,
 		Place:          placeStats,
+		WarmStart:      warmStart,
 		Degraded:       degraded,
 		DegradedReason: degradedReason,
 	}, nil

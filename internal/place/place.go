@@ -74,6 +74,16 @@ type Result struct {
 	// probe solves, HintTried variables carried a hint (their previous
 	// anchor) and HintHits of them kept it in the new solution.
 	HintHits, HintTried int
+	// Anchors is the recorded final solution (nil when the placement is
+	// Degraded — a budget-truncated layout must never seed future
+	// placements). The pipeline's hint cache stores it keyed by the
+	// kernel's structural hash.
+	Anchors *Anchors
+	// WarmStart reports how Options.Hints were used: "adopted" (exact
+	// signature match, solution taken verbatim, zero solver steps),
+	// "seeded" (csp.SetHints warm start, best-effort), or "" (no hints,
+	// or hints unusable).
+	WarmStart string
 	// MaxX and MaxY record the final per-primitive bounding box.
 	MaxX, MaxY map[ir.Resource]int
 	// Degraded reports a budget-truncated placement: either the CSP
@@ -103,6 +113,18 @@ type Options struct {
 	// returned as a typed resource-exhausted error instead of engaging
 	// the greedy placer.
 	NoFallback bool
+	// Hints, when non-nil, is a previously recorded solution (see
+	// Anchors). On an exact problem-signature match the solution is
+	// adopted outright — zero solver steps, byte-identical to the cold
+	// solve by determinism. On a mismatch the hints are ignored unless
+	// HintSeed is set.
+	Hints *Anchors
+	// HintSeed permits best-effort csp.SetHints seeding from Hints when
+	// the problem signature does NOT match. A seeded solve is always
+	// valid and reaches the same bounding-box cost, but may settle on a
+	// different equally-good assignment than a cold solve — so the
+	// content-addressed pipeline never sets it; direct callers may.
+	HintSeed bool
 }
 
 // member is one instruction within a placement cluster.
@@ -192,7 +214,25 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 			"injected solver budget exhaustion", ferr)
 	}
 
-	sol, steps, err := solve(clusters, dev, full, opts.MaxSteps, interrupt)
+	sig := problemSignature(dev, opts, clusters)
+	if adoptable(opts.Hints, sig, clusters, dev, full) {
+		// Exact match: the recorded solution is what this search would
+		// find, so take it without running the solver or the shrink pass
+		// (the recording compile already compacted it).
+		res := writeBack(f, dev, clusters, opts.Hints.Sol)
+		res.WarmStart = "adopted"
+		res.Anchors = opts.Hints
+		return res, nil
+	}
+	warm := ""
+	var seed []int
+	if opts.Hints != nil && opts.HintSeed {
+		if seed = seedPrev(opts.Hints, clusters); seed != nil {
+			warm = "seeded"
+		}
+	}
+
+	sol, steps, err := solve(clusters, dev, full, opts.MaxSteps, interrupt, seed)
 	totalSteps := steps
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
@@ -330,11 +370,17 @@ func PlaceContext(ctx context.Context, f *asm.Func, dev *device.Device, opts Opt
 	res.ProbesSkipped = probesSkipped
 	res.HintHits = hintHits
 	res.HintTried = hintTried
+	res.WarmStart = warm
 	if interrupted {
 		res.Degraded = true
 		res.DegradedReason = fmt.Sprintf(
 			"solver time budget %s expired during shrink after %d probes; placement valid but not fully compacted",
 			opts.SolverTimeout, shrinkIters)
+	} else {
+		// Only full-quality solutions become hints: a time-truncated
+		// layout is wall-clock-dependent and must never seed (or be
+		// adopted by) a future placement.
+		res.Anchors = anchorsFor(sig, clusters, sol, totalSteps)
 	}
 	return res, nil
 }
@@ -520,9 +566,10 @@ func makeCluster(group []placeInfo) (*cluster, error) {
 // solve runs one CSP over every cluster under the given per-primitive
 // bounds, returning the anchor slice id chosen for each cluster.
 // interrupt (nil = never) is polled mid-search so deadlines abort long
-// solves promptly.
-func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int, interrupt func() bool) ([]int, int, error) {
-	sol, st, err := solveSubset(clusters, nil, dev, bounds, maxSteps, interrupt, nil, nil)
+// solves promptly. seed, when non-nil, warm-starts the search
+// (csp.SetHints; csp.NoHint entries carry no hint).
+func solve(clusters []*cluster, dev *device.Device, bounds map[ir.Resource][2]int, maxSteps int, interrupt func() bool, seed []int) ([]int, int, error) {
+	sol, st, err := solveSubset(clusters, nil, dev, bounds, maxSteps, interrupt, seed, nil)
 	return sol, st.steps, err
 }
 

@@ -58,6 +58,13 @@ type Result struct {
 	// greedy-fallback marker (see place.Result).
 	Degraded       bool
 	DegradedReason string
+	// Anchors and WarmStart propagate the placement stage's recorded
+	// solution and warm-start mode (see place.Result). Refinement moves
+	// instructions after the fact, but the anchors describe the solver
+	// placement the refiner started from — exactly what a future
+	// structurally identical compile wants to adopt.
+	Anchors   *place.Anchors
+	WarmStart string
 }
 
 // Place runs solver placement followed by timing-driven refinement.
@@ -123,6 +130,7 @@ func PlaceContext(ctx context.Context, f *asm.Func, target *tdl.Target, dev *dev
 		SolverSteps: res.SolverSteps, ShrinkProbes: res.ShrinkIters,
 		ProbesSkipped: res.ProbesSkipped, HintHits: res.HintHits, HintTried: res.HintTried,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
+		Anchors: res.Anchors, WarmStart: res.WarmStart,
 	}
 
 	for iter := 0; iter < opts.MaxIters; iter++ {

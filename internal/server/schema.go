@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"reticle/internal/cache"
+	"reticle/internal/hintcache"
 	"reticle/internal/pipeline"
 )
 
@@ -53,6 +54,15 @@ type ArtifactJSON struct {
 	ProbesSkipped int `json:"probes_skipped,omitempty"`
 	HintHits      int `json:"hint_hits,omitempty"`
 	HintTried     int `json:"hint_tried,omitempty"`
+
+	// Cross-request hint cache (see internal/hintcache): WarmStart is
+	// "adopted" when placement took a recorded solution outright,
+	// HintCacheHits is 1 for such compiles, and HintCacheStepsSaved is
+	// the cold solver steps the adoption avoided. All omitted for cold
+	// compiles, so pre-hint-cache artifact JSON is byte-unchanged.
+	WarmStart           string `json:"warm_start,omitempty"`
+	HintCacheHits       int    `json:"hint_cache_hits,omitempty"`
+	HintCacheStepsSaved int    `json:"hint_cache_steps_saved,omitempty"`
 
 	// Degraded marks an artifact placed by the greedy fallback after the
 	// solver exhausted its budget: valid (satcheck-verified) but
@@ -235,6 +245,27 @@ type PlaceStatsJSON struct {
 	ProbesSkipped int `json:"probes_skipped"`
 	HintHits      int `json:"hint_hits"`
 	HintTried     int `json:"hint_tried"`
+	// HintCacheHits counts compiles whose placement was adopted from the
+	// cross-request hint cache; HintCacheStepsSaved totals the cold
+	// solver steps those adoptions avoided. Full artifact-cache hits
+	// skip the pipeline and count in neither (no double-count).
+	HintCacheHits       int `json:"hint_cache_hits"`
+	HintCacheStepsSaved int `json:"hint_cache_steps_saved"`
+}
+
+// HintCacheStatsJSON is the placement hint store section of GET /stats,
+// present when the server runs with the hint cache enabled (the
+// default). Lookups happen only on artifact-cache misses, so Hits +
+// Misses tracks compiled kernels, not requests.
+type HintCacheStatsJSON struct {
+	Entries    int    `json:"entries"`
+	MaxEntries int    `json:"max_entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Records    uint64 `json:"records"`
+	// Disk describes the persistent hint level (DiskDir/hints), present
+	// only when the server runs with -disk.
+	Disk *DiskStatsJSON `json:"disk,omitempty"`
 }
 
 // StatsResponse is the GET /stats body.
@@ -248,6 +279,9 @@ type StatsResponse struct {
 	Disk            *DiskStatsJSON `json:"disk,omitempty"`
 	Stages          StagesJSON     `json:"stages"`
 	Place           PlaceStatsJSON `json:"place"`
+	// HintCache snapshots the placement hint store, omitted when the
+	// server runs with the hint cache disabled.
+	HintCache *HintCacheStatsJSON `json:"hint_cache,omitempty"`
 }
 
 // DiskStatsJSONFrom renders disk-cache counters for the wire; the shard
@@ -286,8 +320,12 @@ func artifactJSON(a *pipeline.Artifact) ArtifactJSON {
 		ProbesSkipped:  a.Place.ProbesSkipped,
 		HintHits:       a.Place.HintHits,
 		HintTried:      a.Place.HintTried,
+		WarmStart:      a.WarmStart,
 		Degraded:       a.Degraded,
 		DegradedReason: a.DegradedReason,
+
+		HintCacheHits:       a.Place.HintCacheHits,
+		HintCacheStepsSaved: a.Place.HintCacheStepsSaved,
 	}
 }
 
@@ -299,7 +337,26 @@ func placeJSON(ps pipeline.PlaceStats) PlaceStatsJSON {
 		ProbesSkipped: ps.ProbesSkipped,
 		HintHits:      ps.HintHits,
 		HintTried:     ps.HintTried,
+
+		HintCacheHits:       ps.HintCacheHits,
+		HintCacheStepsSaved: ps.HintCacheStepsSaved,
 	}
+}
+
+// hintCacheJSON renders the hint store snapshot for the wire.
+func hintCacheJSON(hs hintcache.Stats) HintCacheStatsJSON {
+	out := HintCacheStatsJSON{
+		Entries:    hs.Entries,
+		MaxEntries: hs.MaxEntries,
+		Hits:       hs.Hits,
+		Misses:     hs.Misses,
+		Records:    hs.Records,
+	}
+	if hs.Disk != nil {
+		dj := DiskStatsJSONFrom(*hs.Disk)
+		out.Disk = &dj
+	}
+	return out
 }
 
 // stageJSON renders stage times for the wire.

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"reticle/internal/batch"
 	"reticle/internal/cache"
 	"reticle/internal/faults"
+	"reticle/internal/hintcache"
 	"reticle/internal/ir"
 	"reticle/internal/pipeline"
 	"reticle/internal/rerr"
@@ -83,6 +85,15 @@ type Options struct {
 	DiskDir string
 	// DiskMaxBytes bounds the disk cache; <=0 means cache.DefaultDiskBytes.
 	DiskMaxBytes int64
+	// HintCacheEntries bounds the placement hint store (anchors of the
+	// most recent successful compile per structural key, adopted on an
+	// artifact-cache miss with an unchanged placement problem); <=0
+	// means cache.DefaultEntries. With DiskDir set, hints also persist
+	// under DiskDir/hints and survive restarts.
+	HintCacheEntries int
+	// NoHintCache disables the placement hint store: every compile
+	// solves cold, exactly the pre-hint-cache behavior.
+	NoHintCache bool
 }
 
 // Server serves compile requests over shared read-only pipeline configs,
@@ -94,7 +105,8 @@ type Server struct {
 	configs map[string]*pipeline.Config
 	cache   *cache.Cache[cachedArtifact]
 	texts   *cache.Cache[textEntry]
-	disk    *cache.Disk // persistent second level; nil when disabled
+	disk    *cache.Disk      // persistent second level; nil when disabled
+	hints   *hintcache.Store // placement hint store; nil when disabled
 	mux     *http.ServeMux
 	hs      *http.Server
 	start   time.Time
@@ -197,6 +209,28 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 		}
 		s.disk = disk
 	}
+	if !opts.NoHintCache {
+		s.hints = hintcache.New(opts.HintCacheEntries)
+		if opts.DiskDir != "" {
+			// Hints live in a subdirectory of the artifact disk root:
+			// OpenDisk skips directories when indexing, so the two stores
+			// share one -disk tree without colliding.
+			if err := s.hints.AttachDisk(filepath.Join(opts.DiskDir, "hints"), opts.DiskMaxBytes); err != nil {
+				return nil, fmt.Errorf("server: hint cache disk: %w", err)
+			}
+		}
+		// The hint cache rides inside the pipeline config, so clone each
+		// family config rather than mutate the caller's. Fingerprint
+		// ignores HintCache (adoption cannot change output), so every
+		// cache key is identical with or without it.
+		wired := make(map[string]*pipeline.Config, len(configs))
+		for name, cfg := range configs {
+			cc := *cfg
+			cc.HintCache = s.hints
+			wired[name] = &cc
+		}
+		s.configs = wired
+	}
 	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
 	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
 	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
@@ -257,6 +291,10 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 // Disk exposes the persistent second-level cache (nil when disabled);
 // the crash-restart suite and the stats endpoint read it.
 func (s *Server) Disk() *cache.Disk { return s.disk }
+
+// Hints exposes the placement hint store (nil when disabled); the
+// edit-replay and crash-restart suites read it.
+func (s *Server) Hints() *hintcache.Store { return s.hints }
 
 // diskGet reads the second-level cache, if enabled. A read failure
 // (including an injected cache/disk-read fault) is already degraded to a
@@ -705,6 +743,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		dj := DiskStatsJSONFrom(s.disk.Stats())
 		disk = &dj
 	}
+	var hints *HintCacheStatsJSON
+	if s.hints != nil {
+		hj := hintCacheJSON(s.hints.Stats())
+		hints = &hj
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Requests:        s.requests.Load(),
 		Kernels:         s.kernels.Load(),
@@ -722,9 +765,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:   cs.InFlight,
 			HitRate:    cs.HitRate(),
 		},
-		Disk:   disk,
-		Stages: stageJSON(st),
-		Place:  placeJSON(ps),
+		Disk:      disk,
+		Stages:    stageJSON(st),
+		Place:     placeJSON(ps),
+		HintCache: hints,
 	})
 }
 

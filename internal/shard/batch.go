@@ -8,6 +8,7 @@ import (
 
 	"reticle/internal/cache"
 	"reticle/internal/ir"
+	"reticle/internal/pipeline"
 	"reticle/internal/rerr"
 	"reticle/internal/server"
 )
@@ -40,9 +41,10 @@ type batchBody struct {
 // routeJob is one deduped kernel to proxy: its forward body, and the
 // shared outcome every duplicate kernel copies once done is closed.
 type routeJob struct {
-	key  cache.Key
-	fwd  []byte
-	done chan struct{}
+	key      cache.Key // canonical artifact key: dedupe + router disk cache
+	routeKey cache.Key // structural hint key: ring placement (see proxyKernel)
+	fwd      []byte
+	done     chan struct{}
 	// Written before done closes, read only after.
 	res      batchResult // Name left empty; per-kernel names overlay it
 	compiled bool        // backend answered 200 with cache "miss"
@@ -102,7 +104,12 @@ func (rt *Router) planBatch(r *http.Request, famName string, req server.BatchReq
 		}
 		jobByKey[key] = len(plan.jobs)
 		plan.jobIdx[i] = len(plan.jobs)
-		plan.jobs = append(plan.jobs, &routeJob{key: key, fwd: fwd, done: make(chan struct{})})
+		plan.jobs = append(plan.jobs, &routeJob{
+			key:      key,
+			routeKey: cache.Key(pipeline.HintKeyFor(cfg, f)),
+			fwd:      fwd,
+			done:     make(chan struct{}),
+		})
 	}
 	return plan
 }
@@ -121,7 +128,7 @@ func (rt *Router) runJob(r *http.Request, j *routeJob) {
 			}
 		}
 	}()
-	out := rt.proxyKernel(r.Context(), j.key, j.fwd)
+	out := rt.proxyKernel(r.Context(), j.routeKey, j.fwd)
 	if out.err != nil {
 		j.res.Error = rerr.Message(out.err)
 		j.res.ErrorCode = rerr.CodeOf(out.err)

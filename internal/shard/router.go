@@ -337,8 +337,8 @@ type proxyOutcome struct {
 // buffers (artifacts are large; unbounded trust is still wrong).
 const maxProxyResponse = 64 << 20
 
-// proxyKernel routes one serialized /compile body by key: the ring's
-// preference order is walked live-backends-first, each transport
+// proxyKernel routes one serialized /compile body by routeKey: the
+// ring's preference order is walked live-backends-first, each transport
 // failure marks the backend dead and re-hashes onto the next peer, and
 // only when every backend (live or not — a dead mark may be stale) has
 // refused does the request fail, with a typed transient error the
@@ -346,12 +346,18 @@ const maxProxyResponse = 64 << 20
 // (a draining or overloaded peer re-hashes); every other status,
 // including per-kernel 4xx/422/500, is the backend's authoritative
 // answer and is relayed as-is.
-func (rt *Router) proxyKernel(ctx context.Context, key cache.Key, body []byte) proxyOutcome {
+//
+// The handlers route by the structural hint key (pipeline.HintKeyFor),
+// not the canonical artifact key: a small edit changes the artifact key
+// but not the structural one, so the re-edited kernel lands on the
+// backend that compiled the previous version — the one holding its
+// placement hints and its warm LRU neighborhood.
+func (rt *Router) proxyKernel(ctx context.Context, routeKey cache.Key, body []byte) proxyOutcome {
 	if ferr := FaultPick.Fire(ctx); ferr != nil {
 		return proxyOutcome{err: rerr.Wrap(rerr.ClassOf(ferr), "shard_route_failed",
 			"routing failed before any backend was tried", ferr)}
 	}
-	order := rt.ring.Pick(string(key))
+	order := rt.ring.Pick(string(routeKey))
 	var lastErr error
 	attempt := 0
 	try := func(bi int) (proxyOutcome, bool) {
@@ -497,7 +503,12 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
 		return
 	}
+	// Two keys per kernel: the canonical artifact key addresses the
+	// router-local disk cache (artifact identity — exact IR + config),
+	// while the structural hint key steers routing so edited variants of
+	// one kernel share a backend (see proxyKernel).
 	key := cache.KeyFor(cfg, f)
+	routeKey := cache.Key(pipeline.HintKeyFor(cfg, f))
 	name := req.Name
 	if name == "" {
 		name = f.Name
@@ -520,7 +531,7 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "marshal forward request")
 		return
 	}
-	out := rt.proxyKernel(r.Context(), key, fwd)
+	out := rt.proxyKernel(r.Context(), routeKey, fwd)
 	if out.err != nil {
 		writeTypedError(w, out.err)
 		return

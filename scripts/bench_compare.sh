@@ -4,10 +4,13 @@
 #
 # The placement benchmarks (BenchmarkPlaceShrink, internal/csp
 # BenchmarkSolve*) report solver-steps, shrink-probes, steps-per-probe,
-# and place-ns as custom metrics; this compares those plus ns_per_op
-# against the base baseline via cmd/reticle-benchcompare. Higher-is-
-# better metrics (hint-hit-rate, probes-skipped) are reported but never
-# fail the check.
+# and place-ns as custom metrics, and BenchmarkEditReplay reports the
+# incremental-compile series (hint-cache-hit-rate, steps-per-edit);
+# this compares those plus ns_per_op against the base baseline via
+# cmd/reticle-benchcompare. Higher-is-better metrics (hint-hit-rate,
+# hint-cache-hit-rate, probes-skipped) are reported but never fail the
+# check; steps-per-edit is gated, so the adoption path cannot silently
+# start re-solving.
 #
 # Usage: scripts/bench_compare.sh base.json head.json [threshold]
 #
