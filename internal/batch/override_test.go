@@ -1,0 +1,97 @@
+package batch
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+)
+
+// TestCompileOverrideUsed: a Job.Compile closure replaces the pipeline
+// invocation but keeps the pool's bookkeeping (names, attempts, stats).
+func TestCompileOverrideUsed(t *testing.T) {
+	var calls atomic.Int64
+	want := &pipeline.Artifact{Verilog: "// override"}
+	jobs := []Job{{
+		Name: "v0",
+		Compile: func(ctx context.Context) (*pipeline.Artifact, error) {
+			calls.Add(1)
+			return want, nil
+		},
+	}}
+	results, stats, err := Compile(context.Background(), testConfig(t), jobs, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("override called %d times, want 1", calls.Load())
+	}
+	r := results[0]
+	if !r.Ok() || r.Artifact != want || r.Name != "v0" || r.Attempts != 1 {
+		t.Fatalf("result %+v, want override artifact under name v0", r)
+	}
+	if stats.Succeeded != 1 || stats.Failed != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestCompileOverrideRetried: transient failures from the override go
+// through the same retry loop as pipeline failures.
+func TestCompileOverrideRetried(t *testing.T) {
+	var calls atomic.Int64
+	jobs := []Job{{
+		Name: "flaky",
+		Compile: func(ctx context.Context) (*pipeline.Artifact, error) {
+			if calls.Add(1) == 1 {
+				return nil, rerr.New(rerr.Transient, "fault_injected", "transient variant failure")
+			}
+			return &pipeline.Artifact{}, nil
+		},
+	}}
+	results, stats, err := Compile(context.Background(), testConfig(t), jobs, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Ok() || results[0].Attempts != 2 {
+		t.Fatalf("result %+v, want success on attempt 2", results[0])
+	}
+	if stats.Retried != 1 {
+		t.Fatalf("stats.Retried = %d, want 1", stats.Retried)
+	}
+}
+
+// TestCompileOverridePanicContained: a panicking override becomes a
+// typed per-kernel error, not a batch failure.
+func TestCompileOverridePanicContained(t *testing.T) {
+	jobs := []Job{
+		{Name: "boom", Compile: func(ctx context.Context) (*pipeline.Artifact, error) { panic("variant exploded") }},
+		{Func: goodKernel(t, 1)},
+	}
+	results, stats, err := Compile(context.Background(), testConfig(t), jobs, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Ok() || rerr.CodeOf(results[0].Err) != "internal_panic" {
+		t.Fatalf("panic result %+v, want internal_panic", results[0])
+	}
+	if !results[1].Ok() {
+		t.Fatalf("sibling kernel failed: %+v", results[1])
+	}
+	if stats.Succeeded != 1 || stats.Failed != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestNilFuncWithoutOverrideStillInvalid: the nil-kernel guard only
+// relaxes when an override supplies the work.
+func TestNilFuncWithoutOverrideStillInvalid(t *testing.T) {
+	results, _, err := Compile(context.Background(), testConfig(t), []Job{{Name: "empty"}}, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Ok() || rerr.CodeOf(results[0].Err) != "invalid_kernel" {
+		t.Fatalf("result %+v, want invalid_kernel", results[0])
+	}
+}

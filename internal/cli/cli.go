@@ -5,6 +5,7 @@ package cli
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"reticle"
 	"reticle/internal/interp"
@@ -40,6 +42,8 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdVerify(args[1:], stdin, stdout)
 	case "opt":
 		err = cmdOpt(args[1:], stdin, stdout)
+	case "explore":
+		err = cmdExplore(args[1:], stdin, stdout, stderr)
 	case "target":
 		err = cmdTarget(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
@@ -65,6 +69,8 @@ func usage(w io.Writer) {
   reticle expand  file.rasm
   reticle behav   [-hint] file.ret
   reticle opt     [-vectorize n] [-pipeline] [-bind lut|dsp|any] file.ret
+  reticle explore [-family ultrascale|agilex] [-jobs n] [-max-variants n] [-timeout d]
+                  [-shrink] [-json] file.ret
   reticle verify  [-cycles n] [-seed n] file.ret
   reticle target  [-grep substr]
 `)
@@ -222,6 +228,116 @@ func emitArtifact(stdout io.Writer, emit string, art *reticle.Artifact) error {
 		return fmt.Errorf("unknown -emit %q", emit)
 	}
 	return nil
+}
+
+// cmdExplore sweeps one kernel's variant lattice and prints every
+// variant's score plus the Pareto frontier.
+func cmdExplore(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	family := fs.String("family", "ultrascale", "target family: ultrascale|agilex")
+	jobs := fs.Int("jobs", 0, "concurrent variant compiles (0 = runtime default)")
+	maxVariants := fs.Int("max-variants", 0, "variant lattice bound (0 = default)")
+	timeout := fs.Duration("timeout", 0, "per-variant compile timeout (0 = none)")
+	shrink := fs.Bool("shrink", false, "enable area-compaction shrinking passes")
+	emitJSON := fs.Bool("json", false, "emit the full sweep result as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	copts := reticle.Options{Shrink: *shrink}
+	switch *family {
+	case "ultrascale":
+	case "agilex":
+		copts.Target = reticle.Agilex()
+		copts.Device = reticle.AGF014()
+	default:
+		return fmt.Errorf("unknown -family %q", *family)
+	}
+	src, err := readSource(fs.Args(), stdin)
+	if err != nil {
+		return err
+	}
+	f, err := reticle.ParseIR(src)
+	if err != nil {
+		return err
+	}
+	c, err := reticle.NewCompilerWith(copts)
+	if err != nil {
+		return err
+	}
+	res, err := c.Explore(context.Background(), f, reticle.ExploreOptions{
+		Jobs:          *jobs,
+		MaxVariants:   *maxVariants,
+		KernelTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *emitJSON {
+		return writeExploreJSON(stdout, f.Name, *family, res)
+	}
+
+	onFrontier := make(map[string]bool)
+	for _, fp := range res.Frontier {
+		onFrontier[fp.ID] = true
+	}
+	fmt.Fprintf(stdout, "== %s: %d variants ==\n", f.Name, len(res.Variants))
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "variant\tcritical\tluts\tcarries\tdsps\tffs\t")
+	for _, vr := range res.Variants {
+		mark := ""
+		if onFrontier[vr.ID] {
+			mark = "*"
+		}
+		if !vr.Ok() {
+			fmt.Fprintf(tw, "%s\terror: %v\t\t\t\t\t\n", vr.ID, vr.Err)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.3f ns\t%d\t%d\t%d\t%d\t%s\n",
+			vr.ID, vr.Metrics.CriticalNs, vr.Metrics.Luts, vr.Metrics.Carries,
+			vr.Metrics.Dsps, vr.Metrics.FFs, mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "== frontier: %d non-dominated (*) ==\n", len(res.Frontier))
+	if res.Partial {
+		fmt.Fprintf(stderr, "reticle: warning: partial sweep (%d of %d variants failed)\n",
+			res.Stats.Failed, res.Stats.Variants)
+	}
+	return nil
+}
+
+// writeExploreJSON renders a sweep in the same shape as the service's
+// /explore response body (without the server-side stats attribution).
+func writeExploreJSON(stdout io.Writer, name, family string, res *reticle.ExploreResult) error {
+	type variantJSON struct {
+		ID      string                  `json:"id"`
+		Desc    string                  `json:"desc,omitempty"`
+		OK      bool                    `json:"ok"`
+		Error   string                  `json:"error,omitempty"`
+		Metrics *reticle.ExploreMetrics `json:"metrics,omitempty"`
+	}
+	out := struct {
+		Name     string                  `json:"name"`
+		Family   string                  `json:"family"`
+		Variants []variantJSON           `json:"variants"`
+		Frontier []reticle.FrontierPoint `json:"frontier"`
+		Partial  bool                    `json:"partial"`
+	}{Name: name, Family: family, Partial: res.Partial}
+	for _, vr := range res.Variants {
+		vj := variantJSON{ID: vr.ID, Desc: vr.Desc, OK: vr.Ok()}
+		if vr.Ok() {
+			m := vr.Metrics
+			vj.Metrics = &m
+		} else {
+			vj.Error = vr.Err.Error()
+		}
+		out.Variants = append(out.Variants, vj)
+	}
+	out.Frontier = res.Frontier
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 type setFlags []string

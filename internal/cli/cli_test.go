@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -375,5 +376,75 @@ func TestCompileJobsStats(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestExploreTable(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, out, errb := runCLI(t, "", "explore", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{"== macc: 7 variants ==", "base", "bind=lut", "bind=dsp",
+		"flip=t0", "frontier:", "non-dominated (*)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(errb, "partial") {
+		t.Fatalf("clean sweep warned partial: %s", errb)
+	}
+}
+
+func TestExploreJSON(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, out, errb := runCLI(t, "", "explore", "-json", "-jobs", "4", "-family", "agilex", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	var res struct {
+		Name     string `json:"name"`
+		Family   string `json:"family"`
+		Variants []struct {
+			ID string `json:"id"`
+			OK bool   `json:"ok"`
+		} `json:"variants"`
+		Frontier []struct {
+			ID string `json:"id"`
+		} `json:"frontier"`
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if res.Name != "macc" || res.Family != "agilex" || res.Partial {
+		t.Fatalf("result header %+v", res)
+	}
+	if len(res.Variants) == 0 || len(res.Frontier) == 0 {
+		t.Fatalf("empty sweep: %+v", res)
+	}
+	for _, v := range res.Variants {
+		if !v.OK {
+			t.Fatalf("variant %q failed", v.ID)
+		}
+	}
+}
+
+func TestExploreMaxVariants(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, out, errb := runCLI(t, "", "explore", "-max-variants", "2", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(out, "== macc: 2 variants ==") {
+		t.Fatalf("lattice not truncated:\n%s", out)
+	}
+}
+
+func TestExploreBadFamily(t *testing.T) {
+	path := writeTemp(t, "macc.ret", maccSrc)
+	code, _, errb := runCLI(t, "", "explore", "-family", "stratix", path)
+	if code != 1 || !strings.Contains(errb, "unknown -family") {
+		t.Fatalf("exit %d: %s", code, errb)
 	}
 }

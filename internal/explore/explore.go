@@ -1,0 +1,287 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"reticle/internal/batch"
+	"reticle/internal/faults"
+	"reticle/internal/ir"
+	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+	"reticle/internal/tdl"
+	"reticle/internal/timing"
+)
+
+// FaultVariant fires at the top of every per-variant compile attempt —
+// the seam the chaos suite uses to fail individual variants while the
+// sweep as a whole must still return a frontier over the survivors.
+var FaultVariant = faults.Register("explore/variant", "explore sweep, before each per-variant compile attempt")
+
+// CompileFunc compiles one variant under its per-variant config and
+// reports (artifact, served-from-cache, error). The server supplies a
+// closure that routes through its artifact cache hierarchy; the default
+// is a plain pipeline compile.
+type CompileFunc func(ctx context.Context, cfg *pipeline.Config, v Variant) (*pipeline.Artifact, bool, error)
+
+// Options configures one sweep.
+type Options struct {
+	// MaxVariants bounds the lattice (0 = DefaultMaxVariants; clamped
+	// to HardMaxVariants).
+	MaxVariants int
+	// Jobs bounds concurrent variant compiles (batch.Options.Jobs).
+	Jobs int
+	// KernelTimeout bounds each variant's compile.
+	KernelTimeout time.Duration
+	// Retries is the per-variant transient retry budget
+	// (batch.Options.Retries semantics).
+	Retries int
+	// Compile overrides how one variant is compiled; nil means
+	// pipeline.Compile.
+	Compile CompileFunc
+	// OnResult, when non-nil, receives each variant's scored result as
+	// it completes, from worker goroutines (batch.Options.OnResult
+	// semantics). The streaming endpoint uses this.
+	OnResult func(VariantResult)
+}
+
+// Metrics is the deterministic score of one variant: critical path
+// from the timing analyzer, area from the estimator over the placed
+// assembly. Every field is a pure function of the variant and config,
+// so the same sweep always serializes identically.
+type Metrics struct {
+	CriticalNs float64 `json:"critical_ns"`
+	FMaxMHz    float64 `json:"fmax_mhz"`
+	Luts       int     `json:"luts"`
+	Dsps       int     `json:"dsps"`
+	FFs        int     `json:"ffs"`
+	Carries    int     `json:"carries"`
+}
+
+// Objectives is the minimized dominance vector: latency first, then
+// LUTs, carries, DSPs. FFs and FMax ride along as information only —
+// FF count is fixed by the kernel's registers, and FMax is 1/critical.
+func (m Metrics) Objectives() []float64 {
+	return []float64{m.CriticalNs, float64(m.Luts), float64(m.Carries), float64(m.Dsps)}
+}
+
+// Score derives a variant's metrics from its artifact. Timing comes
+// from the pipeline's analyzer. Area is re-derived from the placed
+// assembly by the estimator when the assembly is present — the
+// cross-check suite holds estimator and codegen counts equal — and
+// falls back to the artifact's recorded counters for artifacts
+// reconstructed from a cache tier that stores only the wire form.
+func Score(art *pipeline.Artifact, target *tdl.Target) (Metrics, error) {
+	if art == nil {
+		return Metrics{}, fmt.Errorf("explore: score: nil artifact")
+	}
+	m := Metrics{
+		CriticalNs: art.CriticalNs,
+		FMaxMHz:    art.FMaxMHz,
+		Luts:       art.LUTs,
+		Dsps:       art.DSPs,
+		FFs:        art.FFs,
+		Carries:    art.Carries,
+	}
+	if art.Placed != nil && target != nil {
+		a, err := timing.EstimateArea(art.Placed, target)
+		if err != nil {
+			return Metrics{}, err
+		}
+		m.Luts, m.Carries, m.FFs, m.Dsps = a.Luts, a.Carries, a.FFs, a.Dsps
+	}
+	return m, nil
+}
+
+// VariantResult is one variant's outcome.
+type VariantResult struct {
+	Variant
+	// Index is the lattice position.
+	Index int
+	// Artifact is the compiled artifact (nil on failure).
+	Artifact *pipeline.Artifact
+	// Metrics is the deterministic score (zero on failure).
+	Metrics Metrics
+	// Degraded marks a budget-truncated placement; degraded variants
+	// are reported but never enter the frontier (their layouts are
+	// wall-clock-dependent).
+	Degraded bool
+	// CacheHit reports the variant was served from a cache tier.
+	CacheHit bool
+	// Err is the per-variant failure, if any.
+	Err error
+	// Attempts counts compile attempts (retries included).
+	Attempts int
+	// Dur is the wall time this variant spent in the pool.
+	Dur time.Duration
+}
+
+// Ok reports whether the variant compiled.
+func (r VariantResult) Ok() bool { return r.Err == nil }
+
+// FrontierPoint is one non-dominated variant on the wire.
+type FrontierPoint struct {
+	ID      string  `json:"id"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Stats aggregates one sweep.
+type Stats struct {
+	Variants       int
+	Succeeded      int
+	Failed         int
+	Degraded       int
+	CacheHits      int
+	Retried        int
+	Wall           time.Duration
+	VariantsPerSec float64
+}
+
+// Result is one sweep's outcome: every variant in lattice order plus
+// the non-dominated frontier in canonical dominance order.
+type Result struct {
+	Variants []VariantResult
+	Frontier []FrontierPoint
+	// Partial marks a sweep where at least one variant failed; the
+	// frontier covers the survivors only.
+	Partial bool
+	Stats   Stats
+}
+
+// Run sweeps one kernel: enumerate the lattice, compile every variant
+// through the batch pool (timeouts, retries, panic isolation), score
+// the survivors, and fold them into the Pareto frontier. Individual
+// variant failures mark the result Partial; Run errors only when the
+// sweep as a whole is invalid or nothing survived.
+func Run(ctx context.Context, cfg *pipeline.Config, f *ir.Func, opts Options) (*Result, error) {
+	if cfg == nil {
+		return nil, fmt.Errorf("explore: nil config")
+	}
+	variants, err := Enumerate(f, opts.MaxVariants)
+	if err != nil {
+		return nil, err
+	}
+	compile := opts.Compile
+	if compile == nil {
+		compile = func(ctx context.Context, vcfg *pipeline.Config, v Variant) (*pipeline.Artifact, bool, error) {
+			art, err := pipeline.Compile(ctx, vcfg, v.Func)
+			return art, false, err
+		}
+	}
+
+	t0 := time.Now()
+	cacheHits := make([]bool, len(variants))
+	jobs := make([]batch.Job, len(variants))
+	for i, v := range variants {
+		vcfg := cfg
+		if v.NoCascade != cfg.NoCascade {
+			cc := *cfg
+			cc.NoCascade = v.NoCascade
+			vcfg = &cc
+		}
+		i, v, vcfg := i, v, vcfg
+		jobs[i] = batch.Job{
+			Name: v.ID,
+			Func: v.Func,
+			Compile: func(kctx context.Context) (*pipeline.Artifact, error) {
+				if err := FaultVariant.Fire(kctx); err != nil {
+					return nil, err
+				}
+				art, hit, err := compile(kctx, vcfg, v)
+				if err != nil {
+					return nil, err
+				}
+				cacheHits[i] = hit
+				return art, nil
+			},
+		}
+	}
+
+	finish := func(br batch.Result) VariantResult {
+		vr := VariantResult{
+			Variant:  variants[br.Index],
+			Index:    br.Index,
+			Artifact: br.Artifact,
+			CacheHit: cacheHits[br.Index],
+			Err:      br.Err,
+			Attempts: br.Attempts,
+			Dur:      br.Dur,
+		}
+		if vr.Err == nil && vr.Artifact != nil {
+			vr.Degraded = vr.Artifact.Degraded
+			if m, serr := Score(vr.Artifact, cfg.Target); serr != nil {
+				vr.Err = rerr.Wrap(rerr.Permanent, "score_failed", "variant scoring failed", serr)
+			} else {
+				vr.Metrics = m
+			}
+		}
+		return vr
+	}
+	bopts := batch.Options{
+		Jobs:          opts.Jobs,
+		KernelTimeout: opts.KernelTimeout,
+		Retries:       opts.Retries,
+	}
+	if opts.OnResult != nil {
+		onResult := opts.OnResult
+		bopts.OnResult = func(br batch.Result) { onResult(finish(br)) }
+	}
+	results, bst, err := batch.Compile(ctx, cfg, jobs, bopts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Variants: make([]VariantResult, len(results))}
+	arch := NewArchive()
+	var firstErr error
+	for i, br := range results {
+		vr := finish(br)
+		res.Variants[i] = vr
+		switch {
+		case !vr.Ok():
+			res.Partial = true
+			res.Stats.Failed++
+			if firstErr == nil {
+				firstErr = vr.Err
+			}
+		default:
+			res.Stats.Succeeded++
+			if vr.CacheHit {
+				res.Stats.CacheHits++
+			}
+			if vr.Degraded {
+				res.Stats.Degraded++
+				continue
+			}
+			arch.Insert(Point{ID: vr.ID, Objectives: vr.Metrics.Objectives()})
+		}
+	}
+	if res.Stats.Succeeded == 0 && firstErr != nil {
+		// Nothing survived: surface the first failure instead of an
+		// empty frontier (a kernel that cannot compile at all is a
+		// request error, not a partial sweep).
+		return nil, firstErr
+	}
+	for _, p := range arch.Frontier() {
+		res.Frontier = append(res.Frontier, FrontierPoint{ID: p.ID, Metrics: res.metricsFor(p.ID)})
+	}
+	res.Stats.Variants = len(results)
+	res.Stats.Retried = bst.Retried
+	res.Stats.Wall = time.Since(t0)
+	if secs := res.Stats.Wall.Seconds(); secs > 0 {
+		res.Stats.VariantsPerSec = float64(res.Stats.Variants) / secs
+	}
+	return res, nil
+}
+
+// metricsFor returns the metrics of the named variant. IDs are unique
+// within a sweep by construction.
+func (r *Result) metricsFor(id string) Metrics {
+	for i := range r.Variants {
+		if r.Variants[i].ID == id {
+			return r.Variants[i].Metrics
+		}
+	}
+	return Metrics{}
+}

@@ -1,0 +1,128 @@
+package explore
+
+import (
+	"fmt"
+
+	"reticle/internal/ir"
+	"reticle/internal/passes"
+)
+
+// Variant is one candidate configuration of a kernel: a transformed
+// copy of the source plus the config deltas it compiles under.
+type Variant struct {
+	// ID is the stable identifier — the wire name, the frontier
+	// tie-breaker, and the batch job name.
+	ID string
+	// Desc is a short human-readable description.
+	Desc string
+	// Func is the transformed kernel.
+	Func *ir.Func
+	// NoCascade compiles the variant with the cascade rewriter off.
+	NoCascade bool
+}
+
+// DefaultMaxVariants bounds a sweep when the caller doesn't.
+const DefaultMaxVariants = 24
+
+// HardMaxVariants is the absolute per-sweep ceiling; requests beyond it
+// are clamped, keeping one /explore call's fan-out bounded no matter
+// what the client asks for.
+const HardMaxVariants = 128
+
+// Enumerate builds the bounded variant lattice for one kernel in a
+// fixed, deterministic order:
+//
+//  1. base — the kernel as written;
+//  2. whole-function binding policies: bind=lut, bind=dsp, bind=any;
+//  3. cascade toggles: nocascade, and bind=dsp+nocascade (cascading
+//     only rewrites DSP chains, so the toggle is probed where it bites);
+//  4. flip=<dest> — one per arithmetic compute instruction (add, sub,
+//     mul: the ops both fabrics implement), flipping that instruction
+//     between @lut and @dsp;
+//  5. vec=2, vec=4 — vector-width splits, when the vectorizer finds at
+//     least one group.
+//
+// Variants that transform to the same canonical kernel under the same
+// config deltas are deduplicated (first ID wins), so a kernel already
+// annotated @lut everywhere contributes no separate bind=lut entry.
+// The list is truncated at maxVariants (0 means DefaultMaxVariants,
+// everything is clamped to HardMaxVariants), so earlier lattice layers
+// have priority.
+func Enumerate(f *ir.Func, maxVariants int) ([]Variant, error) {
+	if f == nil {
+		return nil, fmt.Errorf("explore: nil function")
+	}
+	limit := maxVariants
+	if limit <= 0 {
+		limit = DefaultMaxVariants
+	}
+	if limit > HardMaxVariants {
+		limit = HardMaxVariants
+	}
+	var out []Variant
+	seen := make(map[string]bool)
+	add := func(v Variant) {
+		if v.Func == nil || len(out) >= limit {
+			return
+		}
+		key := ir.CanonicalHash(v.Func)
+		if v.NoCascade {
+			key += "+nocascade"
+		}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, v)
+	}
+
+	add(Variant{ID: "base", Desc: "kernel as written", Func: f})
+	if g, err := passes.Bind(f, passes.PreferLut); err == nil {
+		add(Variant{ID: "bind=lut", Desc: "all compute bound to LUTs", Func: g})
+	}
+	if g, err := passes.Bind(f, passes.PreferDsp); err == nil {
+		add(Variant{ID: "bind=dsp", Desc: "arithmetic bound to DSPs", Func: g})
+	}
+	if g, err := passes.Bind(f, passes.Unbind); err == nil {
+		add(Variant{ID: "bind=any", Desc: "selector chooses every resource", Func: g})
+	}
+	add(Variant{ID: "nocascade", Desc: "cascade rewriter off", Func: f, NoCascade: true})
+	if g, err := passes.Bind(f, passes.PreferDsp); err == nil {
+		add(Variant{ID: "bind=dsp+nocascade", Desc: "DSP-bound, cascade rewriter off", Func: g, NoCascade: true})
+	}
+	for i := range f.Body {
+		in := &f.Body[i]
+		if !in.IsCompute() {
+			continue
+		}
+		switch in.Op {
+		case ir.OpAdd, ir.OpSub, ir.OpMul:
+		default:
+			continue
+		}
+		g := f.Clone()
+		tgt := &g.Body[i]
+		if tgt.Res == ir.ResDsp {
+			tgt.Res = ir.ResLut
+		} else {
+			tgt.Res = ir.ResDsp
+		}
+		add(Variant{
+			ID:   "flip=" + in.Dest,
+			Desc: fmt.Sprintf("%s %s flipped to @%s", in.Op, in.Dest, tgt.Res),
+			Func: g,
+		})
+	}
+	for _, lanes := range []int{2, 4} {
+		g, st, err := passes.Vectorize(f, passes.VectorizeOptions{Lanes: lanes})
+		if err != nil || st.Groups == 0 {
+			continue
+		}
+		add(Variant{
+			ID:   fmt.Sprintf("vec=%d", lanes),
+			Desc: fmt.Sprintf("%d-lane vectorization (%d groups)", lanes, st.Groups),
+			Func: g,
+		})
+	}
+	return out, nil
+}

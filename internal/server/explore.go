@@ -1,0 +1,333 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"reticle/internal/explore"
+	"reticle/internal/ir"
+	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+)
+
+// handleExplore sweeps one kernel's variant lattice through the batch
+// pool, with every variant routed through the server's full cache
+// hierarchy (memory LRU, disk, hint cache) — variants sharing a
+// canonical subtree with each other, a previous sweep, or any /compile
+// traffic are served, not recompiled.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	release, err := s.admit(r.Context())
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	defer release()
+	if err := FaultExplore.Fire(r.Context()); err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	var req ExploreRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	famName, cfg, err := s.family(req.Family)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Jobs < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("jobs must be >= 0, got %d", req.Jobs))
+		return
+	}
+	if req.MaxVariants < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("max_variants must be >= 0, got %d", req.MaxVariants))
+		return
+	}
+	f, err := ir.Parse(req.IR)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("parse: %v", err))
+		return
+	}
+	ctx, cancel, err := s.deadline(r, req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	defer cancel()
+
+	name := req.Name
+	if name == "" {
+		name = f.Name
+	}
+	opts := explore.Options{
+		MaxVariants: s.exploreVariantCap(req.MaxVariants),
+		Jobs:        s.exploreJobs(req.Jobs),
+		Compile:     s.variantCompiler(),
+	}
+
+	if req.Stream || r.Header.Get("Accept") == ndjsonContentType {
+		s.streamExplore(ctx, w, famName, name, cfg, f, opts)
+		return
+	}
+
+	res, err := explore.Run(ctx, cfg, f, opts)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	s.countExplore(res)
+	writeJSON(w, http.StatusOK, ExploreResponse{
+		Name:     name,
+		Family:   famName,
+		Variants: exploreVariantsJSON(res.Variants),
+		Frontier: exploreFrontierJSON(res.Frontier),
+		Partial:  res.Partial,
+		Stats:    exploreStatsJSON(res.Stats),
+	})
+}
+
+// exploreVariantCap resolves a request's max_variants against the
+// server cap: 0 takes the lattice default, oversized asks are clamped.
+func (s *Server) exploreVariantCap(requested int) int {
+	cap := s.opts.MaxExploreVariants
+	if cap <= 0 || cap > explore.HardMaxVariants {
+		cap = explore.HardMaxVariants
+	}
+	n := requested
+	if n == 0 {
+		n = explore.DefaultMaxVariants
+	}
+	if n > cap {
+		n = cap
+	}
+	return n
+}
+
+// exploreJobs resolves a request's worker bound; the lattice ceiling
+// also bounds fan-out, so a huge jobs value cannot spawn idle workers.
+func (s *Server) exploreJobs(requested int) int {
+	jobs := requested
+	if jobs == 0 {
+		jobs = s.opts.Jobs
+	}
+	if jobs > explore.HardMaxVariants {
+		jobs = explore.HardMaxVariants
+	}
+	return jobs
+}
+
+// variantCompiler routes one variant through compileKernel — the same
+// cache-checked, counted, coalesced path /compile uses. Artifacts
+// served from the disk tier carry no in-memory form; they are
+// reconstructed from the wire rendering, whose counters the estimator
+// cross-check keeps equal to a fresh compile's.
+func (s *Server) variantCompiler() explore.CompileFunc {
+	return func(ctx context.Context, vcfg *pipeline.Config, v explore.Variant) (*pipeline.Artifact, bool, error) {
+		ca, hit, _, err := s.compileKernel(ctx, vcfg, v.Func)
+		if err != nil {
+			return nil, false, err
+		}
+		if ca.art != nil {
+			return ca.art, hit, nil
+		}
+		art, err := artifactFromWire(ca.rendered)
+		return art, hit, err
+	}
+}
+
+// artifactFromWire rebuilds the scoring-relevant fields of an artifact
+// from its cached rendering.
+func artifactFromWire(raw json.RawMessage) (*pipeline.Artifact, error) {
+	var aj ArtifactJSON
+	if err := json.Unmarshal(raw, &aj); err != nil {
+		return nil, rerr.Wrap(rerr.Permanent, "cache_corrupt",
+			"cached artifact could not be decoded", err)
+	}
+	return &pipeline.Artifact{
+		Verilog:    aj.Verilog,
+		LUTs:       aj.LUTs,
+		DSPs:       aj.DSPs,
+		FFs:        aj.FFs,
+		Carries:    aj.Carries,
+		CriticalNs: aj.CriticalNs,
+		FMaxMHz:    aj.FMaxMHz,
+		Degraded:   aj.Degraded,
+	}, nil
+}
+
+// countExplore folds one finished sweep into the /stats totals.
+func (s *Server) countExplore(res *explore.Result) {
+	s.exploreSweeps.Add(1)
+	s.exploreVariants.Add(int64(res.Stats.Variants))
+	s.exploreHits.Add(int64(res.Stats.CacheHits))
+	if res.Partial {
+		s.explorePartial.Add(1)
+	}
+}
+
+func exploreMetricsJSON(m explore.Metrics) ExploreMetrics {
+	return ExploreMetrics{
+		CriticalNs: m.CriticalNs,
+		FMaxMHz:    m.FMaxMHz,
+		Luts:       m.Luts,
+		Dsps:       m.Dsps,
+		FFs:        m.FFs,
+		Carries:    m.Carries,
+	}
+}
+
+// exploreVariantJSON renders one variant line. Failures cross the wire
+// as the typed stable message and code only.
+func exploreVariantJSON(vr explore.VariantResult) ExploreVariant {
+	out := ExploreVariant{
+		ID:       vr.ID,
+		Desc:     vr.Desc,
+		OK:       vr.Ok(),
+		Degraded: vr.Degraded,
+	}
+	if vr.Ok() {
+		m := exploreMetricsJSON(vr.Metrics)
+		out.Metrics = &m
+	} else {
+		out.Error = rerr.Message(vr.Err)
+		out.ErrorCode = rerr.CodeOf(vr.Err)
+	}
+	return out
+}
+
+func exploreVariantsJSON(vrs []explore.VariantResult) []ExploreVariant {
+	out := make([]ExploreVariant, len(vrs))
+	for i, vr := range vrs {
+		out[i] = exploreVariantJSON(vr)
+	}
+	return out
+}
+
+func exploreFrontierJSON(fps []explore.FrontierPoint) []ExploreFrontierPoint {
+	out := make([]ExploreFrontierPoint, len(fps))
+	for i, fp := range fps {
+		out[i] = ExploreFrontierPoint{ID: fp.ID, Metrics: exploreMetricsJSON(fp.Metrics)}
+	}
+	return out
+}
+
+func exploreStatsJSON(st explore.Stats) ExploreStatsJSON {
+	return ExploreStatsJSON{
+		Variants:       st.Variants,
+		Succeeded:      st.Succeeded,
+		Failed:         st.Failed,
+		Degraded:       st.Degraded,
+		CacheHits:      st.CacheHits,
+		Retried:        st.Retried,
+		WallNS:         st.Wall.Nanoseconds(),
+		VariantsPerSec: st.VariantsPerSec,
+	}
+}
+
+// exploreFooter is the streaming sweep's final line: everything only
+// known once the whole lattice has finished. Field order matches
+// ExploreResponse so the stream splices back into the exact buffered
+// body:
+//
+//	{"name":N,"family":F,"variants":[line1,...,lineN],"frontier":...,"partial":...,"stats":...}
+type exploreFooter struct {
+	Name     string                 `json:"name"`
+	Family   string                 `json:"family"`
+	Frontier []ExploreFrontierPoint `json:"frontier"`
+	Partial  bool                   `json:"partial"`
+	Stats    ExploreStatsJSON       `json:"stats"`
+}
+
+// streamExplore is the chunked /explore emitter: one NDJSON line per
+// variant, flushed in lattice order as soon as the variant (and every
+// variant before it) has a result, then the footer. Each line is
+// byte-identical to the corresponding element of the buffered
+// response's variants array.
+func (s *Server) streamExplore(ctx context.Context, w http.ResponseWriter, famName, name string, cfg *pipeline.Config, f *ir.Func, opts explore.Options) {
+	variants, err := explore.Enumerate(f, opts.MaxVariants)
+	if err != nil {
+		writeTypedError(w, err)
+		return
+	}
+	type state struct {
+		once sync.Once
+		done chan struct{}
+		res  explore.VariantResult
+	}
+	states := make([]*state, len(variants))
+	for i := range states {
+		states[i] = &state{done: make(chan struct{})}
+	}
+	complete := func(i int, vr explore.VariantResult) {
+		if i < 0 || i >= len(states) {
+			return
+		}
+		st := states[i]
+		st.once.Do(func() {
+			st.res = vr
+			close(st.done)
+		})
+	}
+	opts.OnResult = func(vr explore.VariantResult) { complete(vr.Index, vr) }
+
+	var (
+		res     *explore.Result
+		runErr  error
+		runDone = make(chan struct{})
+	)
+	go func() {
+		defer close(runDone)
+		res, runErr = explore.Run(ctx, cfg, f, opts)
+	}()
+
+	w.Header().Set("Content-Type", ndjsonContentType)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range states {
+		var vr explore.VariantResult
+		select {
+		case <-states[i].done:
+			vr = states[i].res
+		case <-runDone:
+			// Run returned before this variant reached a worker (batch
+			// cancel) or the sweep as a whole failed: the authoritative
+			// per-variant result — or the sweep error — stands in.
+			switch {
+			case runErr == nil && res != nil && i < len(res.Variants):
+				vr = res.Variants[i]
+			case runErr != nil:
+				vr = explore.VariantResult{Variant: variants[i], Index: i, Err: runErr}
+			default:
+				vr = explore.VariantResult{Variant: variants[i], Index: i,
+					Err: rerr.New(rerr.Unknown, "internal_error", "variant result missing")}
+			}
+		}
+		enc.Encode(exploreVariantJSON(vr))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	<-runDone
+
+	footer := exploreFooter{Name: name, Family: famName}
+	if runErr == nil && res != nil {
+		s.countExplore(res)
+		footer.Frontier = exploreFrontierJSON(res.Frontier)
+		footer.Partial = res.Partial
+		footer.Stats = exploreStatsJSON(res.Stats)
+	} else {
+		// The status line is long gone; the footer carries the failure
+		// marker (every line already has the typed code).
+		footer.Partial = true
+		footer.Stats = ExploreStatsJSON{Variants: len(variants), Failed: len(variants)}
+	}
+	enc.Encode(footer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

@@ -282,6 +282,8 @@ type StatsResponse struct {
 	// HintCache snapshots the placement hint store, omitted when the
 	// server runs with the hint cache disabled.
 	HintCache *HintCacheStatsJSON `json:"hint_cache,omitempty"`
+	// Explore accumulates /explore sweep counters.
+	Explore ExploreTotalsJSON `json:"explore"`
 }
 
 // DiskStatsJSONFrom renders disk-cache counters for the wire; the shard
@@ -368,4 +370,101 @@ func stageJSON(st pipeline.StageTimes) StagesJSON {
 		CodegenNS: st.Codegen.Nanoseconds(),
 		TimingNS:  st.Timing.Nanoseconds(),
 	}
+}
+
+// ExploreRequest is the POST /explore body: one kernel whose
+// annotation/configuration variants the server sweeps through the
+// batch tier, returning every variant's score plus the Pareto frontier.
+type ExploreRequest struct {
+	// Name labels the response; empty defaults to the parsed function name.
+	Name string `json:"name,omitempty"`
+	// Family selects the target config; empty means the server default.
+	Family string `json:"family,omitempty"`
+	// IR is the kernel source text.
+	IR string `json:"ir"`
+	// TimeoutMS bounds the whole sweep; 0 means the server default,
+	// negative is a 400.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Jobs bounds concurrent variant compiles; 0 means the server
+	// default, negative is a 400.
+	Jobs int `json:"jobs,omitempty"`
+	// MaxVariants bounds the variant lattice; 0 means the default
+	// (explore.DefaultMaxVariants), negative is a 400. Values past the
+	// server's -explore-variants cap are clamped, not rejected.
+	MaxVariants int `json:"max_variants,omitempty"`
+	// Stream selects the chunked NDJSON framing (equivalent to sending
+	// "Accept: application/x-ndjson"): one line per variant in lattice
+	// order as compiles finish, then a footer with frontier + stats.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// ExploreMetrics is one variant's deterministic score: critical path
+// from the timing analyzer, area from the estimator over the placed
+// assembly (held equal to the Verilog generator's counts by the
+// cross-check suite).
+type ExploreMetrics struct {
+	CriticalNs float64 `json:"critical_ns"`
+	FMaxMHz    float64 `json:"fmax_mhz"`
+	Luts       int     `json:"luts"`
+	Dsps       int     `json:"dsps"`
+	FFs        int     `json:"ffs"`
+	Carries    int     `json:"carries"`
+}
+
+// ExploreVariant is one variant's outcome, at its lattice position.
+// Only deterministic fields appear — cache attribution and durations
+// live in ExploreStatsJSON — so a cold sweep, a warm sweep, and a
+// parallel sweep serialize to identical bytes.
+type ExploreVariant struct {
+	ID   string `json:"id"`
+	Desc string `json:"desc,omitempty"`
+	OK   bool   `json:"ok"`
+	// Degraded marks a budget-truncated placement: scored and reported,
+	// but excluded from the frontier (its layout is wall-clock-dependent).
+	Degraded  bool            `json:"degraded,omitempty"`
+	Error     string          `json:"error,omitempty"`
+	ErrorCode string          `json:"error_code,omitempty"`
+	Metrics   *ExploreMetrics `json:"metrics,omitempty"`
+}
+
+// ExploreFrontierPoint is one non-dominated variant. The frontier is
+// ordered canonically: objective vectors (critical_ns, luts, carries,
+// dsps) ascending, ID as the tie-break.
+type ExploreFrontierPoint struct {
+	ID      string         `json:"id"`
+	Metrics ExploreMetrics `json:"metrics"`
+}
+
+// ExploreStatsJSON aggregates one sweep.
+type ExploreStatsJSON struct {
+	Variants  int `json:"variants"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed,omitempty"`
+	Degraded  int `json:"degraded,omitempty"`
+	// CacheHits counts variants served from a cache tier (memory or
+	// disk) instead of compiling.
+	CacheHits      int     `json:"cache_hits"`
+	Retried        int     `json:"retried,omitempty"`
+	WallNS         int64   `json:"wall_ns"`
+	VariantsPerSec float64 `json:"variants_per_sec"`
+}
+
+// ExploreResponse is the POST /explore success body. Partial marks a
+// sweep where some variants failed (e.g. transient faults that outlived
+// the retry budget): the frontier covers the survivors.
+type ExploreResponse struct {
+	Name     string                 `json:"name"`
+	Family   string                 `json:"family"`
+	Variants []ExploreVariant       `json:"variants"`
+	Frontier []ExploreFrontierPoint `json:"frontier"`
+	Partial  bool                   `json:"partial"`
+	Stats    ExploreStatsJSON       `json:"stats"`
+}
+
+// ExploreTotalsJSON is the cumulative explore section of GET /stats.
+type ExploreTotalsJSON struct {
+	Sweeps           int64 `json:"sweeps"`
+	Variants         int64 `json:"variants"`
+	VariantCacheHits int64 `json:"variant_cache_hits"`
+	Partial          int64 `json:"partial"`
 }

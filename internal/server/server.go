@@ -53,6 +53,9 @@ var (
 	FaultCompile = faults.Register("server/compile", "/compile handler entry, after admission")
 	// FaultBatch fires at the top of the /batch handler, after admission.
 	FaultBatch = faults.Register("server/batch", "/batch handler entry, after admission")
+	// FaultExplore fires at the top of the /explore handler, after
+	// admission.
+	FaultExplore = faults.Register("server/explore", "/explore handler entry, after admission")
 	// FaultAdmission forces the admission controller to reject, as if the
 	// in-flight limit were reached.
 	FaultAdmission = faults.Register("server/admission", "admission control: force a 429 load-shed")
@@ -94,6 +97,10 @@ type Options struct {
 	// NoHintCache disables the placement hint store: every compile
 	// solves cold, exactly the pre-hint-cache behavior.
 	NoHintCache bool
+	// MaxExploreVariants caps the per-request /explore max_variants
+	// (requests past the cap are clamped); <=0 means
+	// explore.HardMaxVariants.
+	MaxExploreVariants int
 }
 
 // Server serves compile requests over shared read-only pipeline configs,
@@ -116,6 +123,11 @@ type Server struct {
 	kernels  atomic.Int64 // kernels entering the pipeline (not cache hits)
 	inflight atomic.Int64 // kernels currently inside the pipeline
 	shed     atomic.Int64 // requests rejected by admission control
+
+	exploreSweeps   atomic.Int64 // /explore sweeps completed
+	exploreVariants atomic.Int64 // variants swept, across all sweeps
+	exploreHits     atomic.Int64 // variants served from a cache tier
+	explorePartial  atomic.Int64 // sweeps that returned partial
 
 	stageMu sync.Mutex
 	stages  pipeline.StageTimes // cumulative, compiled kernels only
@@ -233,6 +245,7 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
 	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
+	s.mux.HandleFunc("POST /explore", s.recovered(s.handleExplore))
 	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
 	s.mux.HandleFunc("GET /stats", s.recovered(s.handleStats))
 	return s, nil
@@ -769,6 +782,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Stages:    stageJSON(st),
 		Place:     placeJSON(ps),
 		HintCache: hints,
+		Explore: ExploreTotalsJSON{
+			Sweeps:           s.exploreSweeps.Load(),
+			Variants:         s.exploreVariants.Load(),
+			VariantCacheHits: s.exploreHits.Load(),
+			Partial:          s.explorePartial.Load(),
+		},
 	})
 }
 

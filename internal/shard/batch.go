@@ -128,7 +128,7 @@ func (rt *Router) runJob(r *http.Request, j *routeJob) {
 			}
 		}
 	}()
-	out := rt.proxyKernel(r.Context(), j.routeKey, j.fwd)
+	out := rt.proxyKernel(r.Context(), j.routeKey, "/compile", j.fwd)
 	if out.err != nil {
 		j.res.Error = rerr.Message(out.err)
 		j.res.ErrorCode = rerr.CodeOf(out.err)

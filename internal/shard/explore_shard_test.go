@@ -1,0 +1,151 @@
+package shard_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"reticle"
+	"reticle/internal/server"
+	"reticle/internal/shard"
+)
+
+// exploreDeterministic extracts the deterministic sections of an
+// /explore body (everything except stats, whose wall times are
+// measured).
+func exploreDeterministic(t testing.TB, body []byte) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("explore body is not JSON: %v\n%s", err, body)
+	}
+	return string(m["name"]) + "\n" + string(m["family"]) + "\n" +
+		string(m["variants"]) + "\n" + string(m["frontier"]) + "\n" + string(m["partial"])
+}
+
+// TestShardExploreRouted: a sweep through the router lands whole on
+// one backend, returns the same frontier a direct backend sweep would,
+// and repeated sweeps keep hitting that backend's warm caches.
+func TestShardExploreRouted(t *testing.T) {
+	_, urls := newBackends(t, 3)
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls})
+
+	var first server.ExploreResponse
+	if code := post(t, rt, "/explore", server.ExploreRequest{IR: maccSrc}, &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if first.Name != "macc" || len(first.Frontier) == 0 || first.Partial {
+		t.Fatalf("sweep response: %+v", first)
+	}
+
+	// Exactly one backend compiled: sweeps are routed whole by the
+	// structural key, never fanned across the ring.
+	compiled := 0
+	for _, u := range urls {
+		if st := backendStats(t, u); st.Explore.Sweeps > 0 {
+			compiled++
+			if st.Kernels == 0 {
+				t.Fatal("sweep backend compiled no kernels")
+			}
+		}
+	}
+	if compiled != 1 {
+		t.Fatalf("%d backends saw the sweep, want 1", compiled)
+	}
+
+	// A repeat sweep routes to the same backend and is served from its
+	// caches, with byte-identical deterministic sections.
+	req := httptest.NewRequest("POST", "/explore", bytes.NewReader(mustJSON(t, server.ExploreRequest{IR: maccSrc})))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", w.Code, w.Body.String())
+	}
+	var repeat server.ExploreResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &repeat); err != nil {
+		t.Fatal(err)
+	}
+	if repeat.Stats.CacheHits != repeat.Stats.Variants {
+		t.Fatalf("repeat sweep: %d/%d cache hits", repeat.Stats.CacheHits, repeat.Stats.Variants)
+	}
+
+	// The aggregate /stats section folds the backends' explore totals.
+	var st shard.StatsResponse
+	if code := get(t, rt, "/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Aggregate.Explore.Sweeps != 2 || st.Aggregate.Explore.VariantCacheHits == 0 {
+		t.Fatalf("aggregate explore %+v", st.Aggregate.Explore)
+	}
+}
+
+// TestShardExploreDeterministicAcrossRouters: two fresh tiers serve
+// byte-identical deterministic sections for the same sweep.
+func TestShardExploreDeterministicAcrossRouters(t *testing.T) {
+	bodies := make([]string, 2)
+	for i := range bodies {
+		_, urls := newBackends(t, 2)
+		rt := newRouter(t, reticle.ShardOptions{Backends: urls})
+		data := mustJSON(t, server.ExploreRequest{IR: maccSrc, Jobs: 4})
+		req := httptest.NewRequest("POST", "/explore", bytes.NewReader(data))
+		w := httptest.NewRecorder()
+		rt.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("tier %d: status %d: %s", i, w.Code, w.Body.String())
+		}
+		bodies[i] = exploreDeterministic(t, w.Body.Bytes())
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("tiers disagree\nfirst:\n%s\nsecond:\n%s", bodies[0], bodies[1])
+	}
+}
+
+// TestShardExploreStreamRelayed: a streamed sweep crosses the router
+// as a complete NDJSON body with the right content type.
+func TestShardExploreStreamRelayed(t *testing.T) {
+	_, urls := newBackends(t, 2)
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls})
+	data := mustJSON(t, server.ExploreRequest{IR: maccSrc, Stream: true})
+	req := httptest.NewRequest("POST", "/explore", bytes.NewReader(data))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(w.Body.String(), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines", len(lines))
+	}
+	footer := lines[len(lines)-1]
+	if !strings.Contains(footer, `"frontier"`) {
+		t.Fatalf("footer %s", footer)
+	}
+}
+
+// TestShardExploreBadRequest: request validation happens at the router
+// edge, before any backend is touched.
+func TestShardExploreBadRequest(t *testing.T) {
+	_, urls := newBackends(t, 1)
+	rt := newRouter(t, reticle.ShardOptions{Backends: urls})
+	if code := post(t, rt, "/explore", server.ExploreRequest{IR: "def broken( {"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+	if code := post(t, rt, "/explore", server.ExploreRequest{IR: maccSrc, Family: "stratix"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", code)
+	}
+}
+
+func mustJSON(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

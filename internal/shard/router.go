@@ -167,6 +167,7 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Router, error) {
 	}
 	rt.mux.HandleFunc("POST /compile", rt.recovered(rt.handleCompile))
 	rt.mux.HandleFunc("POST /batch", rt.recovered(rt.handleBatch))
+	rt.mux.HandleFunc("POST /explore", rt.recovered(rt.handleExplore))
 	rt.mux.HandleFunc("GET /healthz", rt.recovered(rt.handleHealthz))
 	rt.mux.HandleFunc("GET /stats", rt.recovered(rt.handleStats))
 	return rt, nil
@@ -337,7 +338,8 @@ type proxyOutcome struct {
 // buffers (artifacts are large; unbounded trust is still wrong).
 const maxProxyResponse = 64 << 20
 
-// proxyKernel routes one serialized /compile body by routeKey: the
+// proxyKernel routes one serialized request body to path by routeKey:
+// the
 // ring's preference order is walked live-backends-first, each transport
 // failure marks the backend dead and re-hashes onto the next peer, and
 // only when every backend (live or not — a dead mark may be stale) has
@@ -352,7 +354,7 @@ const maxProxyResponse = 64 << 20
 // but not the structural one, so the re-edited kernel lands on the
 // backend that compiled the previous version — the one holding its
 // placement hints and its warm LRU neighborhood.
-func (rt *Router) proxyKernel(ctx context.Context, routeKey cache.Key, body []byte) proxyOutcome {
+func (rt *Router) proxyKernel(ctx context.Context, routeKey cache.Key, path string, body []byte) proxyOutcome {
 	if ferr := FaultPick.Fire(ctx); ferr != nil {
 		return proxyOutcome{err: rerr.Wrap(rerr.ClassOf(ferr), "shard_route_failed",
 			"routing failed before any backend was tried", ferr)}
@@ -366,7 +368,7 @@ func (rt *Router) proxyKernel(ctx context.Context, routeKey cache.Key, body []by
 			rt.rehashes.Add(1)
 		}
 		attempt++
-		status, respBody, err := rt.postOnce(ctx, b, "/compile", body)
+		status, respBody, err := rt.postOnce(ctx, b, path, body)
 		if err != nil {
 			lastErr = err
 			b.alive.Store(false)
@@ -531,7 +533,7 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "marshal forward request")
 		return
 	}
-	out := rt.proxyKernel(r.Context(), routeKey, fwd)
+	out := rt.proxyKernel(r.Context(), routeKey, "/compile", fwd)
 	if out.err != nil {
 		writeTypedError(w, out.err)
 		return

@@ -53,6 +53,9 @@ type AggregateStats struct {
 	DiskHits uint64 `json:"disk_hits"`
 	// TotalHits = BackendCacheHits + DiskHits.
 	TotalHits uint64 `json:"total_hits"`
+	// Explore sums the backends' /explore sweep counters (sweeps are
+	// proxied whole to one backend, so the sums are exact).
+	Explore server.ExploreTotalsJSON `json:"explore"`
 }
 
 // RouterStatsJSON is the router's own counters.
@@ -140,6 +143,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Aggregate.Kernels += bs.Stats.Kernels
 		resp.Aggregate.BackendCacheHits += bs.Stats.Cache.Hits
 		resp.Aggregate.BackendCacheMisses += bs.Stats.Cache.Misses
+		resp.Aggregate.Explore.Sweeps += bs.Stats.Explore.Sweeps
+		resp.Aggregate.Explore.Variants += bs.Stats.Explore.Variants
+		resp.Aggregate.Explore.VariantCacheHits += bs.Stats.Explore.VariantCacheHits
+		resp.Aggregate.Explore.Partial += bs.Stats.Explore.Partial
 	}
 	if rt.disk != nil {
 		ds := server.DiskStatsJSONFrom(rt.disk.Stats())

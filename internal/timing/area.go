@@ -1,0 +1,117 @@
+package timing
+
+import (
+	"fmt"
+
+	"reticle/internal/asm"
+	"reticle/internal/ir"
+	"reticle/internal/tdl"
+)
+
+// Area totals the fabric primitives a placed assembly function
+// consumes. The counts mirror the Verilog generator's expansion rules
+// exactly: a DSP-placed instruction is one DSP slice; a LUT-placed
+// instruction expands its TDL definition body — per-bit LUTs for
+// logic/mux, propagate LUTs plus CARRY8 blocks for add/sub/compare,
+// FDRE flops for registers, and a w×w array multiplier (partial
+// products plus w−1 adder rows) for mul. Wire instructions are free.
+type Area struct {
+	Luts    int
+	Carries int
+	FFs     int
+	Dsps    int
+}
+
+func (a Area) plus(b Area) Area {
+	a.Luts += b.Luts
+	a.Carries += b.Carries
+	a.FFs += b.FFs
+	a.Dsps += b.Dsps
+	return a
+}
+
+// EstimateArea walks a selected assembly function and returns its
+// area without generating any Verilog. The estimate is exact by
+// construction — internal/codegen expands the same definition bodies
+// with the same rules — and the cross-check suite holds the two equal
+// over every bundled example and randomized kernels on both families.
+func EstimateArea(f *asm.Func, target *tdl.Target) (Area, error) {
+	if f == nil {
+		return Area{}, fmt.Errorf("timing: estimate area: nil function")
+	}
+	if target == nil {
+		return Area{}, fmt.Errorf("timing: estimate area: nil target")
+	}
+	var total Area
+	for i := range f.Body {
+		in := &f.Body[i]
+		if in.IsWire() {
+			continue
+		}
+		switch in.Loc.Prim {
+		case ir.ResDsp:
+			total.Dsps++
+		case ir.ResLut:
+			def, ok := target.Lookup(in.Name)
+			if !ok {
+				return Area{}, fmt.Errorf("timing: %s: no TDL definition %q", in.Dest, in.Name)
+			}
+			a, err := defArea(def)
+			if err != nil {
+				return Area{}, fmt.Errorf("timing: %s: %w", in.Dest, err)
+			}
+			total = total.plus(a)
+		default:
+			return Area{}, fmt.Errorf("timing: %s: unresolved primitive %s", in.Dest, in.Loc.Prim)
+		}
+	}
+	return total, nil
+}
+
+// defArea expands one LUT-mapped TDL definition body. Counts depend
+// only on the definition (types in TDL are concrete), never on the
+// calling instruction, so a definition has one static area.
+func defArea(def *tdl.Def) (Area, error) {
+	localTypes := make(map[string]ir.Type, len(def.Inputs)+len(def.Body))
+	for _, p := range def.Inputs {
+		localTypes[p.Name] = p.Type
+	}
+	var total Area
+	for bi, body := range def.Body {
+		localTypes[body.Dest] = body.Type
+		w := body.Type.Bits()
+		switch body.Op {
+		case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpMux:
+			total.Luts += w
+		case ir.OpAdd, ir.OpSub:
+			total = total.plus(carryChainArea(w))
+		case ir.OpEq, ir.OpNeq, ir.OpLt, ir.OpGt, ir.OpLe, ir.OpGe:
+			ob := 0
+			if len(body.Args) > 0 {
+				ob = localTypes[body.Args[0]].Bits()
+			}
+			if ob <= 0 {
+				return Area{}, fmt.Errorf("comparator %s (body %d) has unknown operand width", body.Dest, bi)
+			}
+			total = total.plus(carryChainArea(ob))
+		case ir.OpReg:
+			total.FFs += w
+		case ir.OpMul:
+			// Array multiplier: w rows of w partial-product LUTs plus
+			// w−1 carry-chain adder rows (none when w == 1).
+			total.Luts += w * w
+			for r := 1; r < w; r++ {
+				total = total.plus(carryChainArea(w))
+			}
+		default:
+			return Area{}, fmt.Errorf("LUT expansion for %s not supported", body.Op)
+		}
+	}
+	return total, nil
+}
+
+// carryChainArea is one propagate LUT per bit plus one CARRY8 per
+// 8 bits — the shape shared by adders, subtractors, and comparators.
+func carryChainArea(w int) Area {
+	return Area{Luts: w, Carries: (w + 7) / 8}
+}

@@ -1,0 +1,161 @@
+package timing
+
+import (
+	"testing"
+
+	"reticle/internal/asm"
+	"reticle/internal/codegen"
+	"reticle/internal/device"
+	"reticle/internal/ir"
+	"reticle/internal/isel"
+	"reticle/internal/place"
+	"reticle/internal/target/agilex"
+	"reticle/internal/target/ultrascale"
+	"reticle/internal/tdl"
+)
+
+// placeIR selects and places one kernel on the given family.
+func placeIR(t *testing.T, src string, target *tdl.Target, dev *device.Device) *asm.Func {
+	t.Helper()
+	f, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, err := isel.Select(f, target, isel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := place.Place(af, dev, place.Options{Shrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Fn
+}
+
+// TestEstimateAreaMatchesCodegen is the defining property: the
+// estimator must agree with the Verilog generator's own primitive
+// counts, instruction for instruction, without emitting anything.
+func TestEstimateAreaMatchesCodegen(t *testing.T) {
+	kernels := map[string]string{
+		"dsp-add": `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @dsp;
+}`,
+		"lut-add": `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @lut;
+}`,
+		"lut-mul": `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = mul(a, b) @lut;
+}`,
+		"lut-logic": `def f(a:i8, b:i8, c:bool) -> (y:i8, z:i8, w:i8, m:i8) {
+    y:i8 = and(a, b) @lut;
+    z:i8 = or(a, b) @lut;
+    w:i8 = xor(a, b) @lut;
+    m:i8 = mux(c, a, b) @lut;
+}`,
+		"lut-cmp": `def f(a:i8, b:i8) -> (y:bool, z:bool) {
+    y:bool = eq(a, b) @lut;
+    z:bool = lt(a, b) @lut;
+}`,
+		"lut-reg": `def f(a:i8, en:bool) -> (y:i8) {
+    y:i8 = reg[0](a, en) @lut;
+}`,
+		"macc": `def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {
+    t0:i8 = mul(a, b) @dsp;
+    t1:i8 = add(t0, c) @lut;
+    y:i8 = reg[0](t1, en) @lut;
+}`,
+		"wide-mul": `def f(a:i32, b:i32) -> (y:i32) {
+    y:i32 = mul(a, b) @lut;
+}`,
+	}
+	families := []struct {
+		name   string
+		target *tdl.Target
+		dev    *device.Device
+	}{
+		{"ultrascale", ultrascale.Target(), ultrascale.Device()},
+		{"agilex", agilex.Target(), agilex.Device()},
+	}
+	for _, fam := range families {
+		for name, src := range kernels {
+			placed := placeIR(t, src, fam.target, fam.dev)
+			got, err := EstimateArea(placed, fam.target)
+			if err != nil {
+				t.Fatalf("%s/%s: estimate: %v", fam.name, name, err)
+			}
+			_, st, err := codegen.Generate(placed, fam.target)
+			if err != nil {
+				t.Fatalf("%s/%s: codegen: %v", fam.name, name, err)
+			}
+			want := Area{Luts: st.Luts, Carries: st.Carries, FFs: st.FFs, Dsps: st.Dsps}
+			if got != want {
+				t.Errorf("%s/%s: EstimateArea = %+v, codegen counted %+v", fam.name, name, got, want)
+			}
+		}
+	}
+}
+
+// TestEstimateAreaHandRules pins the expansion arithmetic itself on a
+// few kernels where the counts are computable by hand on UltraScale.
+func TestEstimateAreaHandRules(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want Area
+	}{
+		// 8-bit LUT adder: 8 propagate LUTs + one CARRY8.
+		{"add8", `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @lut;
+}`, Area{Luts: 8, Carries: 1}},
+		// 8-bit array multiplier: 64 partial products + 7 adder rows
+		// of (8 LUTs + 1 CARRY8) each.
+		{"mul8", `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = mul(a, b) @lut;
+}`, Area{Luts: 64 + 7*8, Carries: 7}},
+		// 8-bit register: 8 FDREs, no LUTs.
+		{"reg8", `def f(a:i8, en:bool) -> (y:i8) {
+    y:i8 = reg[0](a, en) @lut;
+}`, Area{FFs: 8}},
+		// Comparator counts operand bits (8), not result bits (1).
+		{"eq8", `def f(a:i8, b:i8) -> (y:bool) {
+    y:bool = eq(a, b) @lut;
+}`, Area{Luts: 8, Carries: 1}},
+		// DSP instructions are one slice regardless of width.
+		{"dspmul", `def f(a:i24, b:i24) -> (y:i24) {
+    y:i24 = mul(a, b) @dsp;
+}`, Area{Dsps: 1}},
+	}
+	for _, c := range cases {
+		placed := placeIR(t, c.src, ultrascale.Target(), ultrascale.Device())
+		got, err := EstimateArea(placed, ultrascale.Target())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: EstimateArea = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEstimateAreaErrors(t *testing.T) {
+	if _, err := EstimateArea(nil, ultrascale.Target()); err == nil {
+		t.Error("nil func: want error")
+	}
+	placed := placeIR(t, `def f(a:i8, b:i8) -> (y:i8) {
+    y:i8 = add(a, b) @lut;
+}`, ultrascale.Target(), ultrascale.Device())
+	if _, err := EstimateArea(placed, nil); err == nil {
+		t.Error("nil target: want error")
+	}
+	// An instruction whose definition the target does not know must
+	// surface a typed-enough error, not a zero count.
+	broken := placed.Clone()
+	for i := range broken.Body {
+		if !broken.Body[i].IsWire() {
+			broken.Body[i].Name = "no_such_def"
+		}
+	}
+	if _, err := EstimateArea(broken, ultrascale.Target()); err == nil {
+		t.Error("unknown def: want error")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"reticle/internal/cache"
 	"reticle/internal/cascade"
 	"reticle/internal/device"
+	"reticle/internal/explore"
 	"reticle/internal/interp"
 	"reticle/internal/ir"
 	"reticle/internal/isel"
@@ -382,6 +383,43 @@ func CompileCached(ctx context.Context, f *Func) (*Artifact, bool, error) {
 		return nil, false, d.err
 	}
 	return d.c.CompileCached(ctx, d.ca, f)
+}
+
+// Design-space exploration, re-exported from internal/explore.
+type (
+	// ExploreOptions configures one Explore sweep (lattice bound,
+	// worker bound, per-variant timeout and retry budget).
+	ExploreOptions = explore.Options
+	// ExploreResult is one sweep's outcome: every variant in lattice
+	// order plus the non-dominated frontier in canonical order.
+	ExploreResult = explore.Result
+	// ExploreVariant is one candidate configuration of a kernel.
+	ExploreVariant = explore.Variant
+	// ExploreVariantResult is one variant's compiled, scored outcome.
+	ExploreVariantResult = explore.VariantResult
+	// ExploreMetrics is a variant's deterministic score: critical path
+	// plus estimated area (LUTs, carries, FFs, DSPs).
+	ExploreMetrics = explore.Metrics
+	// FrontierPoint is one non-dominated variant.
+	FrontierPoint = explore.FrontierPoint
+)
+
+// EnumerateVariants builds the bounded, deterministic variant lattice
+// for one kernel (0 means explore.DefaultMaxVariants).
+func EnumerateVariants(f *Func, maxVariants int) ([]ExploreVariant, error) {
+	return explore.Enumerate(f, maxVariants)
+}
+
+// Explore sweeps f's variant lattice — binding flips, cascade toggles,
+// vector splits — compiling every variant under this compiler's config
+// and scoring each on critical path and estimated area. The result
+// carries every variant plus the Pareto frontier; individual variant
+// failures mark it Partial.
+func (c *Compiler) Explore(ctx context.Context, f *Func, opts ExploreOptions) (*ExploreResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return explore.Run(ctx, &c.cfg, f, opts)
 }
 
 // NewServer builds the HTTP compile service over both bundled families

@@ -5,12 +5,15 @@
 # The placement benchmarks (BenchmarkPlaceShrink, internal/csp
 # BenchmarkSolve*) report solver-steps, shrink-probes, steps-per-probe,
 # and place-ns as custom metrics, and BenchmarkEditReplay reports the
-# incremental-compile series (hint-cache-hit-rate, steps-per-edit);
+# incremental-compile series (hint-cache-hit-rate, steps-per-edit),
+# and BenchmarkExplore reports the design-space sweep series
+# (variants-per-sec, explore-cache-hit-rate, explore-ns-per-variant);
 # this compares those plus ns_per_op against the base baseline via
 # cmd/reticle-benchcompare. Higher-is-better metrics (hint-hit-rate,
 # hint-cache-hit-rate, probes-skipped) are reported but never fail the
 # check; steps-per-edit is gated, so the adoption path cannot silently
-# start re-solving.
+# start re-solving, and explore-ns-per-variant is gated, so warm sweeps
+# cannot silently start recompiling.
 #
 # Usage: scripts/bench_compare.sh base.json head.json [threshold]
 #

@@ -1,0 +1,116 @@
+#!/usr/bin/env sh
+# explore_smoke.sh — end-to-end smoke test of the /explore endpoint.
+#
+# Builds and starts reticle-serve on a local port, sweeps one kernel's
+# variant lattice twice, and checks the contract CI cares about: the
+# sweep returns a non-empty Pareto frontier, the second (cache-warm)
+# sweep serves byte-identical variants/frontier sections with every
+# variant a cache hit, the streamed sweep ends in a frontier footer,
+# and /stats records the sweeps.
+#
+# Usage: scripts/explore_smoke.sh [port]
+# The port defaults to $RETICLE_SMOKE_PORT, then 18082, so CI jobs that
+# run several smoke scripts side by side can pin disjoint ports.
+set -eu
+
+cd "$(dirname "$0")/.."
+port="${1:-${RETICLE_SMOKE_PORT:-18082}}"
+base="http://127.0.0.1:$port"
+tmp="$(mktemp -d)"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "explore_smoke: FAIL: $*" >&2
+    [ -f "$tmp/serve.log" ] && sed 's/^/explore_smoke: serve: /' "$tmp/serve.log" >&2
+    exit 1
+}
+
+go build -o "$tmp/reticle-serve" ./cmd/reticle-serve
+"$tmp/reticle-serve" -addr "127.0.0.1:$port" >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "server did not come up on $base"
+    kill -0 "$pid" 2>/dev/null || fail "server exited early"
+    sleep 0.2
+done
+
+cat >"$tmp/req.json" <<'JSON'
+{"ir": "def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {\n    t0:i8 = mul(a, b) @??;\n    t1:i8 = add(t0, c) @??;\n    y:i8 = reg[0](t1, en) @??;\n}", "family": "ultrascale"}
+JSON
+
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/explore" >"$tmp/first.json" \
+    || fail "first /explore failed"
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/explore" >"$tmp/second.json" \
+    || fail "second /explore failed"
+
+# check <file> <label>: sweep shape — every variant ok, frontier
+# non-empty and drawn from the sweep, not partial. Emits the
+# deterministic sections for the cold/warm byte comparison.
+check() {
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+label = sys.argv[2]
+assert doc["name"] == "macc", (label, doc["name"])
+assert not doc["partial"], label
+ids = set()
+for v in doc["variants"]:
+    assert v["ok"], (label, v)
+    ids.add(v["id"])
+assert doc["frontier"], label
+for fp in doc["frontier"]:
+    assert fp["id"] in ids, (label, fp["id"])
+json.dump([doc["variants"], doc["frontier"], doc["partial"]], sys.stdout, sort_keys=True)
+' "$1" "$2"
+}
+
+check "$tmp/first.json" first >"$tmp/first.det" || fail "first sweep malformed: $(cat "$tmp/first.json")"
+check "$tmp/second.json" second >"$tmp/second.det" || fail "second sweep malformed: $(cat "$tmp/second.json")"
+cmp -s "$tmp/first.det" "$tmp/second.det" || fail "warm sweep differs from cold sweep"
+
+# The warm sweep must be served entirely from the cache hierarchy.
+python3 -c '
+import json, sys
+st = json.load(open(sys.argv[1]))["stats"]
+assert st["cache_hits"] == st["variants"] > 0, st
+' "$tmp/second.json" || fail "warm sweep was not fully cached: $(cat "$tmp/second.json")"
+
+# Streamed sweep: NDJSON, one line per variant, frontier footer last.
+curl -fsS -X POST -H 'Accept: application/x-ndjson' \
+    --data-binary @"$tmp/req.json" "$base/explore" >"$tmp/stream.ndjson" \
+    || fail "streamed /explore failed"
+python3 -c '
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert len(lines) >= 2, len(lines)
+footer = lines[-1]
+assert footer["frontier"], footer
+assert not footer["partial"], footer
+for v in lines[:-1]:
+    assert v["ok"], v
+' "$tmp/stream.ndjson" || fail "stream malformed: $(cat "$tmp/stream.ndjson")"
+
+curl -fsS "$base/stats" >"$tmp/stats.json" || fail "/stats failed"
+python3 -c '
+import json, sys
+ex = json.load(open(sys.argv[1]))["explore"]
+assert ex["sweeps"] == 3, ex
+assert ex["variant_cache_hits"] > 0, ex
+assert ex["partial"] == 0, ex
+' "$tmp/stats.json" || fail "stats explore section wrong: $(cat "$tmp/stats.json")"
+
+kill -TERM "$pid"
+wait "$pid" || fail "server did not drain cleanly on SIGTERM"
+pid=""
+
+echo "explore_smoke: OK (frontier, warm byte-identical + fully cached, stream footer, stats)"
