@@ -8,6 +8,7 @@
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
 //	              [-max-inflight 0] [-disk DIR] [-disk-bytes N]
 //	              [-hint-cache 512] [-no-hint-cache] [-explore-variants 0]
+//	              [-scrub-on-start]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
@@ -49,6 +50,7 @@ func main() {
 	hintEntries := flag.Int("hint-cache", 0, "placement hint cache entries (0 = default); with -disk, hints persist under DIR/hints")
 	noHints := flag.Bool("no-hint-cache", false, "disable the placement hint cache (every compile solves cold)")
 	exploreVariants := flag.Int("explore-variants", 0, "per-request /explore variant cap (0 = hard default)")
+	scrubOnStart := flag.Bool("scrub-on-start", false, "verify the disk cache's checksums in the background on startup, quarantining corrupt entries")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
@@ -69,6 +71,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *scrubOnStart {
+		go func() {
+			rep, ok, err := srv.ScrubDisk(ctx, 0)
+			switch {
+			case !ok:
+				log.Printf("reticle-serve: -scrub-on-start: no disk cache configured (-disk), nothing to scrub")
+			case err != nil:
+				log.Printf("reticle-serve: startup scrub interrupted: %v", err)
+			default:
+				log.Printf("reticle-serve: startup scrub: %d entries verified, %d corrupt quarantined (%d bytes in %s)",
+					rep.Scanned, rep.Corrupt, rep.Bytes, rep.Elapsed)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()

@@ -11,7 +11,7 @@
 //	reticle-shard -backends http://h1:8080,http://h2:8080 [-addr :8090]
 //	              [-replicas 64] [-jobs 8] [-proxy-timeout 60s]
 //	              [-health-interval 2s] [-disk DIR] [-disk-bytes N]
-//	              [-max-body 1048576]
+//	              [-max-body 1048576] [-hedge-after 300ms] [-scrub-on-start]
 //
 // The endpoint surface is identical to reticle-serve (POST /compile,
 // POST /batch with buffered or NDJSON-streaming framing, GET /healthz,
@@ -48,6 +48,8 @@ func main() {
 	diskBytes := flag.Int64("disk-bytes", 0, "disk cache size bound in bytes (0 = default)")
 	maxBody := flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
+	hedgeAfter := flag.Duration("hedge-after", 0, "fire one speculative /compile attempt at the next ring backend after this delay (0 = no hedging)")
+	scrubOnStart := flag.Bool("scrub-on-start", false, "verify the disk cache's checksums in the background on startup, quarantining corrupt entries")
 	flag.Parse()
 
 	var backends []string
@@ -69,6 +71,7 @@ func main() {
 		DiskDir:        *diskDir,
 		DiskMaxBytes:   *diskBytes,
 		MaxBodyBytes:   *maxBody,
+		HedgeAfter:     *hedgeAfter,
 	})
 	if err != nil {
 		log.Fatal("reticle-shard: ", err)
@@ -76,6 +79,21 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *scrubOnStart {
+		go func() {
+			rep, ok, err := rt.ScrubDisk(ctx, 0)
+			switch {
+			case !ok:
+				log.Printf("reticle-shard: -scrub-on-start: no disk cache configured (-disk), nothing to scrub")
+			case err != nil:
+				log.Printf("reticle-shard: startup scrub interrupted: %v", err)
+			default:
+				log.Printf("reticle-shard: startup scrub: %d entries verified, %d corrupt quarantined (%d bytes in %s)",
+					rep.Scanned, rep.Corrupt, rep.Bytes, rep.Elapsed)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- rt.ListenAndServe(*addr) }()

@@ -299,8 +299,15 @@ func compileOne(ctx context.Context, cfg *pipeline.Config, job Job, index int, t
 		if attempt >= retries || rerr.ClassOf(res.Err) != rerr.Transient || ctx.Err() != nil {
 			return res
 		}
+		delay := retryDelay(index, attempt)
+		// A retry only makes sense while the deadline budget can still
+		// cover the backoff plus some compute: sleeping into (or past) the
+		// deadline burns a worker slot to produce a guaranteed timeout.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay+minRetryBudget {
+			return res
+		}
 		select {
-		case <-time.After(retryDelay(index, attempt)):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			return res
 		}
@@ -342,4 +349,7 @@ func retryDelay(index, attempt int) time.Duration {
 const (
 	baseRetryDelay = 2 * time.Millisecond
 	maxRetryDelay  = 50 * time.Millisecond
+	// minRetryBudget is the deadline headroom a retry must still have
+	// after its backoff sleep; with less, the attempt is abandoned.
+	minRetryBudget = 2 * time.Millisecond
 )

@@ -10,9 +10,16 @@
 //     cache root and renamed into place, so a crash mid-write can leave
 //     a stray *.tmp (swept on the next Open) but never a truncated
 //     artifact under a live name.
-//   - Reads verify an embedded header (magic + full key) before serving
-//     a byte, so a corrupt or foreign file is evicted and reported as a
-//     miss, never served as a wrong answer.
+//   - Reads verify an embedded header (magic + full key) and, for the
+//     current frame version, a SHA-256 checksum of the payload before
+//     serving a byte, so a corrupt, truncated, or foreign file is
+//     reported as a miss, never served as a wrong answer.
+//   - Corrupt entries self-heal: instead of tripping over the same bad
+//     file forever, a failed decode atomically moves the file into
+//     DIR/quarantine/ (preserved for postmortem, capped in count) and
+//     the next compute repopulates the slot. Scrub walks the whole
+//     store in the background at a bounded I/O rate and applies the
+//     same policy.
 //   - Recency survives restarts approximately: Get refreshes the file
 //     mtime, and Open rebuilds the LRU in mtime order before enforcing
 //     the byte bound.
@@ -52,19 +59,41 @@ var (
 	FaultDiskRead = faults.Register("cache/disk-read", "disk cache read path: degrade to a miss")
 	// FaultDiskWrite fires at the top of Disk.Put, before the temp write.
 	FaultDiskWrite = faults.Register("cache/disk-write", "disk cache write path: drop the persist, keep the compile")
+	// FaultDiskCorrupt fires after a successful file read, forcing the
+	// decode to fail as if the bytes were corrupt on disk: the entry must
+	// be quarantined and the request must degrade to a miss.
+	FaultDiskCorrupt = faults.Register("cache/disk-corrupt", "disk cache decode path: quarantine the entry, degrade to a miss")
 )
 
 // DefaultDiskBytes bounds the disk cache when OpenDisk is given a
 // non-positive budget.
 const DefaultDiskBytes int64 = 256 << 20
 
-// diskMagic heads every artifact file; a file without it (foreign,
-// truncated, corrupt) is evicted on read instead of served.
-const diskMagic = "RTDC1\n"
+// diskMagic heads every artifact file; a file without a known magic
+// (foreign, truncated, corrupt) is quarantined on read instead of
+// served. Version 2 embeds a SHA-256 payload checksum after the key;
+// version 1 files (written by older builds) are still readable and are
+// verified by header + key only.
+const (
+	diskMagicV1 = "RTDC1\n"
+	diskMagic   = "RTDC2\n"
+)
+
+// diskSumLen is the length of the embedded payload checksum (SHA-256).
+const diskSumLen = sha256.Size
 
 // artExt is the artifact file suffix; everything else in the root is
 // ignored (and *.tmp leftovers are swept on Open).
 const artExt = ".art"
+
+// quarantineDir is the subdirectory (under the cache root) that corrupt
+// artifacts are moved into; maxQuarantine caps how many are preserved
+// before the oldest are dropped, so a bit-rotting disk cannot grow the
+// morgue without bound.
+const (
+	quarantineDir = "quarantine"
+	maxQuarantine = 64
+)
 
 // DiskStats is a point-in-time snapshot of disk-cache counters. Entries,
 // Bytes, and MaxBytes describe occupancy; the uint64s count operations
@@ -83,6 +112,14 @@ type DiskStats struct {
 	ReadErrors uint64
 	// Evictions counts entries dropped by the byte bound.
 	Evictions uint64
+	// Corrupt counts entries whose decode failed (bad magic, truncated
+	// frame, checksum mismatch, foreign key) in Get or Scrub; Quarantined
+	// counts the subset successfully moved into DIR/quarantine/ (a move
+	// can fail on a sick filesystem, in which case the file is removed).
+	Corrupt, Quarantined uint64
+	// ScrubRuns counts completed or cancelled Scrub walks; ScrubScanned
+	// counts entries verified across all of them.
+	ScrubRuns, ScrubScanned uint64
 }
 
 // diskEntry is one resident artifact file in the LRU index.
@@ -105,6 +142,8 @@ type Disk struct {
 	items map[string]*list.Element
 
 	hits, misses, writes, writeErrors, readErrors, evictions uint64
+	corrupt, quarantined, scrubRuns, scrubScanned            uint64
+	quarantineSeq                                            uint64
 }
 
 // OpenDisk opens (creating if needed) a disk cache rooted at dir,
@@ -171,6 +210,16 @@ func OpenDisk(dir string, maxBytes int64) (*Disk, error) {
 		d.bytes += f.size
 	}
 	d.evictLocked()
+	// Seed the quarantine sequence past anything a previous process left
+	// behind, so new quarantine names never overwrite old evidence.
+	if qents, err := os.ReadDir(filepath.Join(dir, quarantineDir)); err == nil {
+		for _, de := range qents {
+			var seq uint64
+			if _, err := fmt.Sscanf(de.Name(), "%d.", &seq); err == nil && seq > d.quarantineSeq {
+				d.quarantineSeq = seq
+			}
+		}
+	}
 	return d, nil
 }
 
@@ -207,34 +256,80 @@ func isLowerHex(s string) bool {
 }
 
 // encodeDiskFile frames an artifact for disk: magic, big-endian key
-// length, key bytes, payload.
+// length, key bytes, SHA-256 payload checksum, payload.
 func encodeDiskFile(key Key, data []byte) []byte {
-	buf := make([]byte, 0, len(diskMagic)+4+len(key)+len(data))
+	sum := sha256.Sum256(data)
+	buf := make([]byte, 0, len(diskMagic)+4+len(key)+diskSumLen+len(data))
 	buf = append(buf, diskMagic...)
 	var klen [4]byte
 	binary.BigEndian.PutUint32(klen[:], uint32(len(key)))
 	buf = append(buf, klen[:]...)
 	buf = append(buf, key...)
+	buf = append(buf, sum[:]...)
 	buf = append(buf, data...)
 	return buf
 }
 
-// decodeDiskFile verifies the frame and the embedded key, returning the
-// payload.
-func decodeDiskFile(key Key, raw []byte) ([]byte, error) {
-	if len(raw) < len(diskMagic)+4 || string(raw[:len(diskMagic)]) != diskMagic {
-		return nil, fmt.Errorf("cache: disk file has no header")
+// splitDiskFile parses a frame of either version, returning the
+// embedded key and payload. For v2 frames the payload checksum is
+// verified; v1 frames (older builds) carry none, so the header + key
+// checks are all the protection they get.
+func splitDiskFile(raw []byte) (Key, []byte, error) {
+	if len(raw) < len(diskMagic)+4 {
+		return "", nil, fmt.Errorf("cache: disk file has no header")
+	}
+	magic := string(raw[:len(diskMagic)])
+	if magic != diskMagic && magic != diskMagicV1 {
+		return "", nil, fmt.Errorf("cache: disk file has no header")
 	}
 	rest := raw[len(diskMagic):]
 	klen := int(binary.BigEndian.Uint32(rest[:4]))
 	rest = rest[4:]
 	if klen < 0 || klen > len(rest) {
-		return nil, fmt.Errorf("cache: disk file has truncated key")
+		return "", nil, fmt.Errorf("cache: disk file has truncated key")
 	}
-	if string(rest[:klen]) != string(key) {
+	key := Key(rest[:klen])
+	rest = rest[klen:]
+	if magic == diskMagicV1 {
+		return key, rest, nil
+	}
+	if len(rest) < diskSumLen {
+		return "", nil, fmt.Errorf("cache: disk file has truncated checksum")
+	}
+	want := rest[:diskSumLen]
+	payload := rest[diskSumLen:]
+	if got := sha256.Sum256(payload); string(got[:]) != string(want) {
+		return "", nil, fmt.Errorf("cache: disk file checksum mismatch")
+	}
+	return key, payload, nil
+}
+
+// decodeDiskFile verifies the frame, the payload checksum, and the
+// embedded key, returning the payload.
+func decodeDiskFile(key Key, raw []byte) ([]byte, error) {
+	embedded, payload, err := splitDiskFile(raw)
+	if err != nil {
+		return nil, err
+	}
+	if string(embedded) != string(key) {
 		return nil, fmt.Errorf("cache: disk file keyed for another artifact")
 	}
-	return rest[klen:], nil
+	return payload, nil
+}
+
+// verifyDiskFile is the scrub-side decode: the key is not known up
+// front, so the check is frame integrity (magic, lengths, checksum)
+// plus name consistency — the embedded key must map back to the file
+// name it was read from.
+func verifyDiskFile(name string, raw []byte) error {
+	key, _, err := splitDiskFile(raw)
+	if err != nil {
+		return err
+	}
+	if diskFileName(key) != name {
+		return fmt.Errorf("cache: disk file keyed for another artifact")
+	}
+	return nil
 }
 
 // Get returns the persisted artifact bytes for key, if present and
@@ -258,23 +353,84 @@ func (d *Disk) Get(ctx context.Context, key Key) ([]byte, bool) {
 	}
 	path := filepath.Join(d.root, name)
 	raw, err := os.ReadFile(path)
-	if err == nil {
-		var data []byte
-		data, err = decodeDiskFile(key, raw)
-		if err == nil {
-			d.ll.MoveToFront(el)
-			d.hits++
-			now := time.Now()
-			os.Chtimes(path, now, now) // best-effort recency persistence
-			return data, true
+	if err != nil {
+		// Unreadable (I/O): drop it so the slot is reclaimed. There is
+		// nothing worth preserving — the bytes never arrived.
+		d.removeLocked(el)
+		os.Remove(path)
+		d.readErrors++
+		d.misses++
+		return nil, false
+	}
+	if ferr := FaultDiskCorrupt.Fire(ctx); ferr != nil {
+		// Injected corruption: take the same path a checksum mismatch
+		// would, including the quarantine move.
+		d.quarantineLocked(el, name)
+		d.readErrors++
+		d.misses++
+		return nil, false
+	}
+	data, err := decodeDiskFile(key, raw)
+	if err != nil {
+		// Corrupt, truncated, or foreign: quarantine for postmortem and
+		// degrade to a miss; the next compute repopulates the slot.
+		d.quarantineLocked(el, name)
+		d.readErrors++
+		d.misses++
+		return nil, false
+	}
+	d.ll.MoveToFront(el)
+	d.hits++
+	now := time.Now()
+	os.Chtimes(path, now, now) // best-effort recency persistence
+	return data, true
+}
+
+// quarantineLocked removes el from the index and atomically moves its
+// file into DIR/quarantine/ under a sequence-prefixed name (so repeated
+// corruption of the same key never clobbers earlier evidence). If the
+// move fails the file is removed instead — a corrupt entry must never
+// stay live either way. The quarantine directory is capped at
+// maxQuarantine files, oldest dropped first.
+func (d *Disk) quarantineLocked(el *list.Element, name string) {
+	d.removeLocked(el)
+	d.corrupt++
+	src := filepath.Join(d.root, name)
+	qdir := filepath.Join(d.root, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		os.Remove(src)
+		return
+	}
+	d.quarantineSeq++
+	dst := filepath.Join(qdir, fmt.Sprintf("%06d.%s", d.quarantineSeq, name))
+	if err := os.Rename(src, dst); err != nil {
+		os.Remove(src)
+		return
+	}
+	d.quarantined++
+	d.trimQuarantineLocked(qdir)
+}
+
+// trimQuarantineLocked drops the oldest quarantined files (by name —
+// the sequence prefix sorts chronologically within a process, and
+// lexical order is a fine tiebreak across restarts) until at most
+// maxQuarantine remain.
+func (d *Disk) trimQuarantineLocked(qdir string) {
+	entries, err := os.ReadDir(qdir)
+	if err != nil || len(entries) <= maxQuarantine {
+		return
+	}
+	names := make([]string, 0, len(entries))
+	for _, de := range entries {
+		if !de.IsDir() {
+			names = append(names, de.Name())
 		}
 	}
-	// Unreadable or corrupt: drop it so the slot is reclaimed.
-	d.removeLocked(el)
-	os.Remove(path)
-	d.readErrors++
-	d.misses++
-	return nil, false
+	sort.Strings(names)
+	for len(names) > maxQuarantine {
+		os.Remove(filepath.Join(qdir, names[0]))
+		names = names[1:]
+	}
 }
 
 // Put persists data under key: temp write in the cache root, fsync-free
@@ -383,14 +539,18 @@ func (d *Disk) Stats() DiskStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return DiskStats{
-		Entries:     d.ll.Len(),
-		Bytes:       d.bytes,
-		MaxBytes:    d.max,
-		Hits:        d.hits,
-		Misses:      d.misses,
-		Writes:      d.writes,
-		WriteErrors: d.writeErrors,
-		ReadErrors:  d.readErrors,
-		Evictions:   d.evictions,
+		Entries:      d.ll.Len(),
+		Bytes:        d.bytes,
+		MaxBytes:     d.max,
+		Hits:         d.hits,
+		Misses:       d.misses,
+		Writes:       d.writes,
+		WriteErrors:  d.writeErrors,
+		ReadErrors:   d.readErrors,
+		Evictions:    d.evictions,
+		Corrupt:      d.corrupt,
+		Quarantined:  d.quarantined,
+		ScrubRuns:    d.scrubRuns,
+		ScrubScanned: d.scrubScanned,
 	}
 }

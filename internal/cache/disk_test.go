@@ -147,9 +147,9 @@ func TestDiskCacheEviction(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
 	pay := bytes.Repeat([]byte("p"), 100)
-	// Frame overhead is magic(6) + len(4) + key(64) = 74 bytes; budget
-	// for ~3 entries of 174 framed bytes.
-	d := mustOpen(t, dir, 3*174)
+	// Frame overhead is magic(6) + len(4) + key(64) + sum(32) = 106
+	// bytes; budget for ~3 entries of 206 framed bytes.
+	d := mustOpen(t, dir, 3*206)
 
 	k := func(i int) Key { return Key(fmt.Sprintf("%064x", i)) }
 	for i := 0; i < 3; i++ {
@@ -182,7 +182,7 @@ func TestDiskCacheEviction(t *testing.T) {
 	time.Sleep(10 * time.Millisecond) // ensure distinct mtimes on coarse filesystems
 	d.Get(ctx, k(0))
 	d.Get(ctx, k(3))
-	shrunk := mustOpen(t, dir, 2*174)
+	shrunk := mustOpen(t, dir, 2*206)
 	if _, ok := shrunk.Get(ctx, k(2)); ok {
 		t.Fatal("reopen with a tighter bound kept the least-recent artifact")
 	}

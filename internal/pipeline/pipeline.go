@@ -282,7 +282,15 @@ type Artifact struct {
 func checkCtx(ctx context.Context, stage string) error {
 	err := ctx.Err()
 	if err == nil {
-		return nil
+		// A context whose deadline has passed but whose timer has not
+		// fired yet (scheduler lag) is already dead for our purposes: the
+		// cross-tier budget is an absolute wall-clock instant, and work
+		// started past it can only be thrown away upstream.
+		if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+			err = context.DeadlineExceeded
+		} else {
+			return nil
+		}
 	}
 	msg := "compile canceled during " + stage
 	if err == context.DeadlineExceeded {

@@ -125,6 +125,15 @@ func Wrap(class Class, code, msg string, err error) error {
 	return &Error{Class: class, Code: code, Msg: msg, Err: err}
 }
 
+// DeadlineBudget builds the typed error for a request whose cross-tier
+// deadline budget ran out before the work could be dispatched or
+// finished: transient (a retry arrives with a fresh budget) and
+// wrapping context.DeadlineExceeded so HTTPStatus maps it to 504, the
+// same status an organically expired context produces.
+func DeadlineBudget(code, msg string) error {
+	return Wrap(Transient, code, msg, context.DeadlineExceeded)
+}
+
 // ClassOf reports the classification of err: the outermost *Error's
 // class, or the conventional classification of context errors (deadline
 // expiry is an exhausted budget, cancellation is transient — the caller

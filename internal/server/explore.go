@@ -54,7 +54,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, err := s.deadline(r, req.TimeoutMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeDeadlineError(w, err)
 		return
 	}
 	defer cancel()

@@ -234,6 +234,23 @@ type DiskStatsJSON struct {
 	WriteErrors uint64 `json:"write_errors"`
 	ReadErrors  uint64 `json:"read_errors"`
 	Evictions   uint64 `json:"evictions"`
+	// Corrupt counts entries whose decode failed (checksum mismatch,
+	// truncation, foreign key); Quarantined counts the subset preserved
+	// under DIR/quarantine/ for postmortem.
+	Corrupt     uint64 `json:"disk_corrupt"`
+	Quarantined uint64 `json:"disk_quarantined"`
+	// ScrubRuns / ScrubScanned count Scrub() walks and the entries they
+	// verified (see POST /scrub and -scrub-on-start).
+	ScrubRuns    uint64 `json:"scrub_runs"`
+	ScrubScanned uint64 `json:"scrub_scanned"`
+}
+
+// ScrubResponse is the POST /scrub body: one completed integrity walk.
+type ScrubResponse struct {
+	Scanned   int   `json:"scanned"`
+	Corrupt   int   `json:"corrupt"`
+	Bytes     int64 `json:"bytes"`
+	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
 // PlaceStatsJSON is the cumulative placement-solver section of GET
@@ -290,15 +307,19 @@ type StatsResponse struct {
 // router reuses it for its local disk section.
 func DiskStatsJSONFrom(ds cache.DiskStats) DiskStatsJSON {
 	return DiskStatsJSON{
-		Entries:     ds.Entries,
-		Bytes:       ds.Bytes,
-		MaxBytes:    ds.MaxBytes,
-		Hits:        ds.Hits,
-		Misses:      ds.Misses,
-		Writes:      ds.Writes,
-		WriteErrors: ds.WriteErrors,
-		ReadErrors:  ds.ReadErrors,
-		Evictions:   ds.Evictions,
+		Entries:      ds.Entries,
+		Bytes:        ds.Bytes,
+		MaxBytes:     ds.MaxBytes,
+		Hits:         ds.Hits,
+		Misses:       ds.Misses,
+		Writes:       ds.Writes,
+		WriteErrors:  ds.WriteErrors,
+		ReadErrors:   ds.ReadErrors,
+		Evictions:    ds.Evictions,
+		Corrupt:      ds.Corrupt,
+		Quarantined:  ds.Quarantined,
+		ScrubRuns:    ds.ScrubRuns,
+		ScrubScanned: ds.ScrubScanned,
 	}
 }
 

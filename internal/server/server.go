@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,7 +60,18 @@ var (
 	// FaultAdmission forces the admission controller to reject, as if the
 	// in-flight limit were reached.
 	FaultAdmission = faults.Register("server/admission", "admission control: force a 429 load-shed")
+	// FaultDeadline forces deadline derivation to behave as if the
+	// cross-tier budget were already exhausted on arrival: a typed 504,
+	// never a started compile.
+	FaultDeadline = faults.Register("server/deadline", "deadline derivation: budget exhausted on arrival")
 )
+
+// DeadlineHeader carries the absolute cross-tier deadline — unix
+// milliseconds, UTC — that a routing tier stamped on a proxied request.
+// The server folds it into the request context deadline (taking the
+// earlier of it and its own timeout), so a 2s budget set at the router
+// can never commission 30s of backend work (DESIGN.md §14).
+const DeadlineHeader = "X-Reticle-Deadline"
 
 // Options configures a Server.
 type Options struct {
@@ -246,6 +258,7 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 	s.mux.HandleFunc("POST /compile", s.recovered(s.handleCompile))
 	s.mux.HandleFunc("POST /batch", s.recovered(s.handleBatch))
 	s.mux.HandleFunc("POST /explore", s.recovered(s.handleExplore))
+	s.mux.HandleFunc("POST /scrub", s.recovered(s.handleScrub))
 	s.mux.HandleFunc("GET /healthz", s.recovered(s.handleHealthz))
 	s.mux.HandleFunc("GET /stats", s.recovered(s.handleStats))
 	return s, nil
@@ -308,6 +321,38 @@ func (s *Server) Disk() *cache.Disk { return s.disk }
 // Hints exposes the placement hint store (nil when disabled); the
 // edit-replay and crash-restart suites read it.
 func (s *Server) Hints() *hintcache.Store { return s.hints }
+
+// ScrubDisk runs one integrity walk over the persistent disk cache at
+// the given I/O rate (<=0 means the cache default). It reports ok=false
+// without walking when the server runs with no disk tier. The
+// -scrub-on-start flag and the POST /scrub endpoint both land here.
+func (s *Server) ScrubDisk(ctx context.Context, bytesPerSec int64) (cache.ScrubReport, bool, error) {
+	if s.disk == nil {
+		return cache.ScrubReport{}, false, nil
+	}
+	rep, err := s.disk.Scrub(ctx, bytesPerSec)
+	return rep, true, err
+}
+
+// handleScrub triggers a synchronous disk-cache integrity walk: 404
+// when no disk tier is configured, otherwise the walk's report. Corrupt
+// entries found are quarantined exactly as a corrupt Get would.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	rep, ok, err := s.ScrubDisk(r.Context(), 0)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no disk cache configured")
+		return
+	}
+	if err != nil {
+		writeTypedError(w, rerr.Wrap(rerr.Transient, "scrub_cancelled",
+			"scrub walk cancelled before completion", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ScrubResponse{
+		Scanned: rep.Scanned, Corrupt: rep.Corrupt,
+		Bytes: rep.Bytes, ElapsedMS: rep.Elapsed.Milliseconds(),
+	})
+}
 
 // diskGet reads the second-level cache, if enabled. A read failure
 // (including an injected cache/disk-read fault) is already degraded to a
@@ -387,21 +432,59 @@ func (s *Server) family(name string) (string, *pipeline.Config, error) {
 }
 
 // deadline derives the compile context for a request: the request's own
-// timeout_ms if positive, else the server default; always nested inside
-// the connection context so client disconnects cancel compiles.
+// timeout_ms if positive, else the server default — and, when a routing
+// tier stamped an X-Reticle-Deadline header, never later than that, so
+// the cross-tier budget binds whichever is tighter. Always nested
+// inside the connection context so client disconnects cancel compiles.
+// A header deadline already in the past fails fast with a typed 504
+// before any work starts.
 func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc, error) {
 	if timeoutMS < 0 {
 		return nil, nil, fmt.Errorf("timeout_ms must be >= 0, got %d", timeoutMS)
+	}
+	if ferr := FaultDeadline.Fire(r.Context()); ferr != nil {
+		return nil, nil, rerr.DeadlineBudget("deadline_exceeded",
+			"cross-tier deadline budget exhausted before the request could start")
+	}
+	var headerDL time.Time
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed %s header %q", DeadlineHeader, h)
+		}
+		headerDL = time.UnixMilli(ms)
+		if !time.Now().Before(headerDL) {
+			return nil, nil, rerr.DeadlineBudget("deadline_exceeded",
+				"cross-tier deadline budget exhausted before the request could start")
+		}
 	}
 	d := time.Duration(timeoutMS) * time.Millisecond
 	if d == 0 {
 		d = s.opts.DefaultTimeout
 	}
-	if d == 0 {
+	dl := headerDL
+	if d > 0 {
+		if own := time.Now().Add(d); dl.IsZero() || own.Before(dl) {
+			dl = own
+		}
+	}
+	if dl.IsZero() {
 		return r.Context(), func() {}, nil
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
+	ctx, cancel := context.WithDeadline(r.Context(), dl)
 	return ctx, cancel, nil
+}
+
+// writeDeadlineError renders a deadline() failure: typed budget errors
+// (an expired cross-tier header, an armed server/deadline fault) keep
+// their taxonomy status (504), plain validation failures are 400s.
+func writeDeadlineError(w http.ResponseWriter, err error) {
+	var te *rerr.Error
+	if errors.As(err, &te) {
+		writeTypedError(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
 }
 
 // decode reads a size-limited JSON body into dst, distinguishing
@@ -539,7 +622,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, err := s.deadline(r, req.TimeoutMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeDeadlineError(w, err)
 		return
 	}
 	defer cancel()
@@ -600,7 +683,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel, err := s.deadline(r, 0) // overall deadline: server default
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeDeadlineError(w, err)
 		return
 	}
 	defer cancel()

@@ -117,8 +117,10 @@ func (rt *Router) planBatch(r *http.Request, famName string, req server.BatchReq
 // runJob proxies one deduped kernel and records its shared outcome.
 // Panics (an armed panic fault, a bug) are contained to a typed
 // per-kernel failure: workers run outside the handler's recover, and a
-// batch must never die to one kernel.
-func (rt *Router) runJob(r *http.Request, j *routeJob) {
+// batch must never die to one kernel. Each job gets its own deadline
+// from the client's timeout_ms (stamped downstream by the proxy layer),
+// so one wedged kernel cannot silently burn the whole batch's budget.
+func (rt *Router) runJob(r *http.Request, timeoutMS int64, j *routeJob) {
 	defer close(j.done)
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -128,7 +130,9 @@ func (rt *Router) runJob(r *http.Request, j *routeJob) {
 			}
 		}
 	}()
-	out := rt.proxyKernel(r.Context(), j.routeKey, "/compile", j.fwd)
+	ctx, cancel := rt.requestCtx(r, timeoutMS)
+	defer cancel()
+	out := rt.proxyKernel(ctx, j.routeKey, "/compile", j.fwd)
 	if out.err != nil {
 		j.res.Error = rerr.Message(out.err)
 		j.res.ErrorCode = rerr.CodeOf(out.err)
@@ -241,7 +245,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for g := 0; g < jobs; g++ {
 		go func() {
 			for j := range queue {
-				rt.runJob(r, j)
+				rt.runJob(r, req.TimeoutMS, j)
 			}
 		}()
 	}

@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestProbeOffsetSpacing is the anti-thundering-herd regression: the n
+// backends' probe phases must be distinct, strictly increasing, and
+// spread across the whole interval — never all zero (the shared-tick
+// bug where a recovering ring absorbs its entire probe load as one
+// synchronized burst).
+func TestProbeOffsetSpacing(t *testing.T) {
+	const interval = 2 * time.Second
+	for _, n := range []int{1, 2, 3, 5, 8, 16} {
+		offsets := make([]time.Duration, n)
+		for i := range offsets {
+			offsets[i] = probeOffset(interval, i, n)
+		}
+		if offsets[0] != 0 {
+			t.Fatalf("n=%d: first backend's phase %s, want 0", n, offsets[0])
+		}
+		step := interval / time.Duration(n)
+		for i := 1; i < n; i++ {
+			if offsets[i] <= offsets[i-1] {
+				t.Fatalf("n=%d: phases not strictly increasing: offset[%d]=%s <= offset[%d]=%s",
+					n, i, offsets[i], i-1, offsets[i-1])
+			}
+			// Integer division can shift a phase by a nanosecond; anything
+			// beyond that is real unevenness.
+			if gap := offsets[i] - offsets[i-1]; gap < step || gap > step+time.Duration(n) {
+				t.Fatalf("n=%d: uneven spacing between %d and %d: %s, want ~%s", n, i-1, i, gap, step)
+			}
+			if offsets[i] >= interval {
+				t.Fatalf("n=%d: offset[%d]=%s spills past the interval %s", n, i, offsets[i], interval)
+			}
+		}
+	}
+	if got := probeOffset(interval, 0, 0); got != 0 {
+		t.Fatalf("degenerate n=0: %s, want 0", got)
+	}
+}

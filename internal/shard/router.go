@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -14,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"reticle/internal/breaker"
 	"reticle/internal/cache"
 	"reticle/internal/faults"
 	"reticle/internal/ir"
@@ -33,6 +33,14 @@ var (
 	// FaultProxy fires before each proxy attempt, counting as a transport
 	// failure toward that backend (re-hash, not request failure).
 	FaultProxy = faults.Register("shard/proxy", "per-attempt proxy transport failure: degrade to re-hash")
+	// FaultHedge fires at the top of a hedged (speculative) attempt: an
+	// armed fault fails the hedge while the primary keeps racing, so
+	// hedging can only ever degrade to not-hedging.
+	FaultHedge = faults.Register("shard/hedge", "hedged attempt transport failure: degrade to the primary")
+	// FaultBreakerProbe fires before a half-open breaker probe is
+	// dispatched: an armed fault fails the probe and re-opens the breaker,
+	// driving the trip/recover cycle from the chaos harness.
+	FaultBreakerProbe = faults.Register("shard/breaker-probe", "half-open probe failure: breaker re-opens")
 )
 
 // Options configures a Router.
@@ -74,15 +82,30 @@ type Options struct {
 	// Client overrides the proxy HTTP client (tests inject httptest
 	// clients); nil means a default client with pooled transport.
 	Client *http.Client
+	// HedgeAfter enables hedged requests for idempotent /compile proxies:
+	// when the primary backend has not answered within this delay, one
+	// speculative attempt is fired at the next ring backend and the first
+	// success wins (the loser is cancelled). 0 disables hedging. A global
+	// budget caps hedges at ~10% of proxy calls so hedging cannot amplify
+	// an overload (DESIGN.md §14).
+	HedgeAfter time.Duration
+	// Breaker configures the per-backend circuit breakers; the zero value
+	// means the breaker package defaults. Tests inject Breaker.Now for
+	// deterministic trip/recover cycles.
+	Breaker breaker.Options
 }
 
 // backend is one reticle-serve peer with liveness state. alive flips
 // false on transport failure (passive) or failed probe (active) and
 // true again on any success, so a restarted backend rejoins without
-// router intervention.
+// router intervention. The breaker watches the proxy outcome stream and
+// opens on sustained failure, keeping traffic off a backend that is up
+// but sick (slow, erroring) — a condition the boolean liveness mark
+// cannot express.
 type backend struct {
 	url   string
 	alive atomic.Bool
+	br    *breaker.Breaker
 }
 
 // Router is the shard tier front end. It implements http.Handler with
@@ -104,10 +127,14 @@ type Router struct {
 	stopHealth chan struct{}
 	healthDone chan struct{}
 
-	requests atomic.Int64 // HTTP requests accepted
-	proxied  atomic.Int64 // proxy attempts that reached a backend and got an answer
-	rehashes atomic.Int64 // proxy attempts beyond a key's first-choice backend
-	outages  atomic.Int64 // requests that found no live backend at all
+	requests      atomic.Int64 // HTTP requests accepted
+	proxied       atomic.Int64 // proxy attempts that reached a backend and got an answer
+	rehashes      atomic.Int64 // proxy attempts beyond a key's first-choice backend
+	outages       atomic.Int64 // requests that found no live backend at all
+	proxyCalls    atomic.Int64 // proxyKernel invocations (the hedge-budget denominator)
+	hedges        atomic.Int64 // speculative attempts fired
+	hedgeWins     atomic.Int64 // hedged attempts that answered first
+	shedForwarded atomic.Int64 // backend 429s relayed to the client instead of re-hashed
 }
 
 // New builds a Router over one pipeline config per family (the same
@@ -154,7 +181,7 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Router, error) {
 		rt.client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}}
 	}
 	for _, u := range opts.Backends {
-		b := &backend{url: u}
+		b := &backend{url: u, br: breaker.New(opts.Breaker)}
 		b.alive.Store(true)
 		rt.backends = append(rt.backends, b)
 	}
@@ -168,6 +195,7 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Router, error) {
 	rt.mux.HandleFunc("POST /compile", rt.recovered(rt.handleCompile))
 	rt.mux.HandleFunc("POST /batch", rt.recovered(rt.handleBatch))
 	rt.mux.HandleFunc("POST /explore", rt.recovered(rt.handleExplore))
+	rt.mux.HandleFunc("POST /scrub", rt.recovered(rt.handleScrub))
 	rt.mux.HandleFunc("GET /healthz", rt.recovered(rt.handleHealthz))
 	rt.mux.HandleFunc("GET /stats", rt.recovered(rt.handleStats))
 	return rt, nil
@@ -202,56 +230,77 @@ func (rt *Router) ListenAndServe(addr string) error {
 }
 
 // StartHealthLoop launches the active prober (no-op when
-// Options.HealthInterval is 0 or the router is already stopped).
+// Options.HealthInterval is 0 or the router is already stopped). Each
+// backend gets its own probe goroutine with a phase offset spreading
+// the schedule across the interval — on a shared tick, every backend is
+// probed at the same instant, so a recovering ring takes its whole
+// probe load as one synchronized burst (a thundering herd against
+// exactly the peers least able to absorb it).
 func (rt *Router) StartHealthLoop() {
 	if rt.opts.HealthInterval <= 0 {
 		close(rt.healthDone)
 		return
 	}
-	go func() {
-		defer close(rt.healthDone)
-		t := time.NewTicker(rt.opts.HealthInterval)
-		defer t.Stop()
-		for {
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
 			select {
 			case <-rt.stopHealth:
 				return
-			case <-t.C:
-				rt.probeBackends()
+			case <-time.After(probeOffset(rt.opts.HealthInterval, i, len(rt.backends))):
 			}
-		}
+			t := time.NewTicker(rt.opts.HealthInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-rt.stopHealth:
+					return
+				case <-t.C:
+					rt.probeOne(b)
+				}
+			}
+		}(i, b)
+	}
+	go func() {
+		wg.Wait()
+		close(rt.healthDone)
 	}()
 }
 
-// probeBackends marks each backend alive/dead from one /healthz probe.
-func (rt *Router) probeBackends() {
+// probeOffset is backend i's probe phase within the interval: the n
+// backends are spread evenly, so probe k fires at interval*(1 + k/n)
+// after start instead of all n landing on the same tick. Pure, so the
+// anti-herd spacing is testable without a clock.
+func probeOffset(interval time.Duration, i, n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return interval * time.Duration(i) / time.Duration(n)
+}
+
+// probeOne marks one backend alive/dead from one /healthz probe.
+func (rt *Router) probeOne(b *backend) {
 	timeout := rt.opts.HealthInterval
 	if timeout <= 0 || timeout > 2*time.Second {
 		timeout = 2 * time.Second
 	}
-	var wg sync.WaitGroup
-	for _, b := range rt.backends {
-		wg.Add(1)
-		go func(b *backend) {
-			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), timeout)
-			defer cancel()
-			req, err := http.NewRequestWithContext(ctx, "GET", b.url+"/healthz", nil)
-			if err != nil {
-				b.alive.Store(false)
-				return
-			}
-			resp, err := rt.client.Do(req)
-			if err != nil {
-				b.alive.Store(false)
-				return
-			}
-			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
-			resp.Body.Close()
-			b.alive.Store(resp.StatusCode == http.StatusOK)
-		}(b)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", b.url+"/healthz", nil)
+	if err != nil {
+		b.alive.Store(false)
+		return
 	}
-	wg.Wait()
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		b.alive.Store(false)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	b.alive.Store(resp.StatusCode == http.StatusOK)
 }
 
 // Shutdown stops the health prober and gracefully drains the listener,
@@ -327,130 +376,19 @@ func (rt *Router) decode(w http.ResponseWriter, r *http.Request, dst any) (int, 
 }
 
 // proxyOutcome is one routed kernel's terminal proxy result: an HTTP
-// answer from some live backend, or a typed total-outage error.
+// answer from some live backend, or a typed total-outage error. A 429
+// answer carries the backend's Retry-After so the handlers can relay
+// the shed verbatim.
 type proxyOutcome struct {
-	status int
-	body   []byte
-	err    error
+	status     int
+	body       []byte
+	retryAfter string
+	err        error
 }
 
 // maxProxyResponse bounds how much of a backend response the router
 // buffers (artifacts are large; unbounded trust is still wrong).
 const maxProxyResponse = 64 << 20
-
-// proxyKernel routes one serialized request body to path by routeKey:
-// the
-// ring's preference order is walked live-backends-first, each transport
-// failure marks the backend dead and re-hashes onto the next peer, and
-// only when every backend (live or not — a dead mark may be stale) has
-// refused does the request fail, with a typed transient error the
-// client can retry. Backend 502/503/504 answers count as refusals too
-// (a draining or overloaded peer re-hashes); every other status,
-// including per-kernel 4xx/422/500, is the backend's authoritative
-// answer and is relayed as-is.
-//
-// The handlers route by the structural hint key (pipeline.HintKeyFor),
-// not the canonical artifact key: a small edit changes the artifact key
-// but not the structural one, so the re-edited kernel lands on the
-// backend that compiled the previous version — the one holding its
-// placement hints and its warm LRU neighborhood.
-func (rt *Router) proxyKernel(ctx context.Context, routeKey cache.Key, path string, body []byte) proxyOutcome {
-	if ferr := FaultPick.Fire(ctx); ferr != nil {
-		return proxyOutcome{err: rerr.Wrap(rerr.ClassOf(ferr), "shard_route_failed",
-			"routing failed before any backend was tried", ferr)}
-	}
-	order := rt.ring.Pick(string(routeKey))
-	var lastErr error
-	attempt := 0
-	try := func(bi int) (proxyOutcome, bool) {
-		b := rt.backends[bi]
-		if attempt > 0 {
-			rt.rehashes.Add(1)
-		}
-		attempt++
-		status, respBody, err := rt.postOnce(ctx, b, path, body)
-		if err != nil {
-			lastErr = err
-			b.alive.Store(false)
-			return proxyOutcome{}, false
-		}
-		if status == http.StatusBadGateway || status == http.StatusServiceUnavailable ||
-			status == http.StatusGatewayTimeout {
-			lastErr = fmt.Errorf("backend %s answered %d", b.url, status)
-			return proxyOutcome{}, false
-		}
-		b.alive.Store(true)
-		rt.proxied.Add(1)
-		return proxyOutcome{status: status, body: respBody}, true
-	}
-	// First pass: backends believed alive, in ring preference order.
-	for _, bi := range order {
-		if !rt.backends[bi].alive.Load() {
-			continue
-		}
-		if out, ok := try(bi); ok {
-			return out
-		}
-		if ctx.Err() != nil {
-			break
-		}
-	}
-	// Second pass: dead-marked backends — liveness marks are advisory
-	// and a peer may have restarted since it was marked.
-	if ctx.Err() == nil {
-		for _, bi := range order {
-			if rt.backends[bi].alive.Load() {
-				continue
-			}
-			if out, ok := try(bi); ok {
-				return out
-			}
-			if ctx.Err() != nil {
-				break
-			}
-		}
-	}
-	rt.outages.Add(1)
-	if cerr := ctx.Err(); cerr != nil && lastErr == nil {
-		lastErr = cerr
-	}
-	return proxyOutcome{err: rerr.Wrap(rerr.Transient, "no_live_backends",
-		"no live backend could serve the request", lastErr)}
-}
-
-// postOnce performs one proxy attempt against one backend.
-func (rt *Router) postOnce(ctx context.Context, b *backend, path string, body []byte) (int, []byte, error) {
-	if ferr := FaultProxy.Fire(ctx); ferr != nil {
-		return 0, nil, ferr
-	}
-	actx := ctx
-	if rt.opts.ProxyTimeout > 0 {
-		var cancel context.CancelFunc
-		actx, cancel = context.WithTimeout(ctx, rt.opts.ProxyTimeout)
-		defer cancel()
-	}
-	req, err := http.NewRequestWithContext(actx, "POST", b.url+path, bytes.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	// Read one byte past the cap so an over-limit body is detected and
-	// refused as a transport failure (re-hash onto the next peer) instead
-	// of being truncated and relayed as a well-formed success.
-	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyResponse+1))
-	if err != nil {
-		return 0, nil, err
-	}
-	if len(respBody) > maxProxyResponse {
-		return 0, nil, fmt.Errorf("backend %s response exceeds %d bytes", b.url, maxProxyResponse)
-	}
-	return resp.StatusCode, respBody, nil
-}
 
 // compileWire mirrors the backend /compile response with the artifact
 // kept raw, so the router can persist it without re-encoding.
@@ -533,7 +471,13 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "marshal forward request")
 		return
 	}
-	out := rt.proxyKernel(r.Context(), routeKey, "/compile", fwd)
+	// The client's timeout becomes a real context deadline here, so the
+	// whole downstream chain — proxy attempts, retries, hedges, and the
+	// backend pipeline via the stamped deadline header — shares one
+	// budget instead of each tier inventing its own.
+	ctx, cancel := rt.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	out := rt.proxyKernel(ctx, routeKey, "/compile", fwd)
 	if out.err != nil {
 		writeTypedError(w, out.err)
 		return
@@ -544,9 +488,55 @@ func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
 			rt.diskPut(r.Context(), key, cw.Artifact)
 		}
 	}
+	if out.retryAfter != "" {
+		w.Header().Set("Retry-After", out.retryAfter)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(out.status)
 	w.Write(out.body)
+}
+
+// requestCtx derives the proxy context for one routed request: the
+// handler context bounded by the client-requested timeout, which the
+// proxy layer also stamps downstream as the X-Reticle-Deadline header.
+func (rt *Router) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	if timeoutMS > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMS)*time.Millisecond)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// ScrubDisk walks the router-local disk cache verifying every entry's
+// embedded checksum, quarantining corrupt files (see cache.Disk.Scrub).
+// The bool reports whether a disk tier is configured at all;
+// bytesPerSec <= 0 means cache.DefaultScrubBytesPerSec.
+// cmd/reticle-shard's -scrub-on-start runs this before serving traffic.
+func (rt *Router) ScrubDisk(ctx context.Context, bytesPerSec int64) (cache.ScrubReport, bool, error) {
+	if rt.disk == nil {
+		return cache.ScrubReport{}, false, nil
+	}
+	rep, err := rt.disk.Scrub(ctx, bytesPerSec)
+	return rep, true, err
+}
+
+// handleScrub triggers a synchronous integrity walk over the router's
+// local disk cache (404 when no disk tier is configured), mirroring the
+// backend's POST /scrub so operators drive either tier the same way.
+func (rt *Router) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if rt.disk == nil {
+		writeError(w, http.StatusNotFound, "no disk cache configured")
+		return
+	}
+	rep, err := rt.disk.Scrub(r.Context(), 0)
+	if err != nil {
+		writeTypedError(w, rerr.Wrap(rerr.Transient, "scrub_cancelled",
+			"scrub walk cancelled before completion", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ScrubResponse{
+		Scanned: rep.Scanned, Corrupt: rep.Corrupt,
+		Bytes: rep.Bytes, ElapsedMS: rep.Elapsed.Milliseconds(),
+	})
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -556,7 +546,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Families: rt.Families(),
 	}
 	for _, b := range rt.backends {
-		resp.Backends = append(resp.Backends, BackendHealth{URL: b.url, Alive: b.alive.Load()})
+		resp.Backends = append(resp.Backends, BackendHealth{
+			URL: b.url, Alive: b.alive.Load(), Breaker: b.br.State().String(),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

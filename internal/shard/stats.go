@@ -20,19 +20,29 @@ type HealthResponse struct {
 	Backends []BackendHealth `json:"backends"`
 }
 
-// BackendHealth is one backend's liveness as the router sees it.
+// BackendHealth is one backend's liveness as the router sees it, plus
+// its circuit-breaker state ("closed", "open", "half-open").
 type BackendHealth struct {
-	URL   string `json:"url"`
-	Alive bool   `json:"alive"`
+	URL     string `json:"url"`
+	Alive   bool   `json:"alive"`
+	Breaker string `json:"breaker"`
+}
+
+// BreakerStatsJSON is one backend's breaker counters on the /stats wire.
+type BreakerStatsJSON struct {
+	State      string `json:"state"`
+	Trips      uint64 `json:"trips"`
+	Recoveries uint64 `json:"recoveries"`
 }
 
 // BackendStats is one backend's /stats snapshot (nil with Error set
 // when the backend could not be polled).
 type BackendStats struct {
-	URL   string                `json:"url"`
-	Alive bool                  `json:"alive"`
-	Error string                `json:"error,omitempty"`
-	Stats *server.StatsResponse `json:"stats,omitempty"`
+	URL     string                `json:"url"`
+	Alive   bool                  `json:"alive"`
+	Breaker *BreakerStatsJSON     `json:"breaker,omitempty"`
+	Error   string                `json:"error,omitempty"`
+	Stats   *server.StatsResponse `json:"stats,omitempty"`
 }
 
 // AggregateStats sums the tier's counters without double counting: a
@@ -66,6 +76,15 @@ type RouterStatsJSON struct {
 	Proxied  int64 `json:"proxied"`
 	Rehashes int64 `json:"rehashes"`
 	Outages  int64 `json:"outages"`
+	// ProxyCalls counts proxyKernel invocations (the hedge-budget
+	// denominator); Hedges counts speculative attempts fired, HedgeWins
+	// the ones that answered first.
+	ProxyCalls int64 `json:"proxy_calls"`
+	Hedges     int64 `json:"hedges"`
+	HedgeWins  int64 `json:"hedge_wins"`
+	// ShedForwarded counts backend 429s relayed to the client with their
+	// Retry-After instead of re-hashed onto the next (equally loaded) peer.
+	ShedForwarded int64 `json:"shed_forwarded"`
 	// Disk is the router-local persistent cache, when configured.
 	Disk *server.DiskStatsJSON `json:"disk,omitempty"`
 }
@@ -122,9 +141,13 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Families: rt.Families(),
 		Backends: make([]BackendStats, len(rt.backends)),
 		Router: RouterStatsJSON{
-			Proxied:  rt.proxied.Load(),
-			Rehashes: rt.rehashes.Load(),
-			Outages:  rt.outages.Load(),
+			Proxied:       rt.proxied.Load(),
+			Rehashes:      rt.rehashes.Load(),
+			Outages:       rt.outages.Load(),
+			ProxyCalls:    rt.proxyCalls.Load(),
+			Hedges:        rt.hedges.Load(),
+			HedgeWins:     rt.hedgeWins.Load(),
+			ShedForwarded: rt.shedForwarded.Load(),
 		},
 	}
 	var wg sync.WaitGroup
@@ -133,6 +156,10 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		go func(i int, b *backend) {
 			defer wg.Done()
 			resp.Backends[i] = rt.pollBackendStats(r.Context(), b)
+			bs := b.br.Stats()
+			resp.Backends[i].Breaker = &BreakerStatsJSON{
+				State: bs.State.String(), Trips: bs.Trips, Recoveries: bs.Recoveries,
+			}
 		}(i, b)
 	}
 	wg.Wait()

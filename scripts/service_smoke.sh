@@ -123,4 +123,61 @@ kill -TERM "$pid"
 wait "$pid" || fail "load-shed server did not drain cleanly on SIGTERM"
 pid=""
 
-echo "service_smoke: OK (miss -> hit, identical artifact, 429 load shed, clean drain)"
+# Self-healing probe: fill a disk cache, corrupt the artifact on disk
+# (flip one byte — a torn write, a failing sector), and restart over
+# the same directory with -scrub-on-start. The startup scrub must
+# quarantine the rotten entry, and the recompile must serve a clean
+# artifact — never a 5xx, never the corrupt bytes.
+"$tmp/reticle-serve" -addr "127.0.0.1:$port" -disk "$tmp/disk" >"$tmp/serve.log" 2>&1 &
+pid=$!
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "disk server did not come up on $base"
+    sleep 0.2
+done
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/compile" >"$tmp/seed.json" \
+    || fail "disk seed /compile failed"
+kill -TERM "$pid"
+wait "$pid" || fail "disk server did not drain cleanly"
+pid=""
+
+artifact_file="$(find "$tmp/disk" -maxdepth 1 -type f | head -1)"
+[ -n "$artifact_file" ] || fail "no artifact file on disk after seed compile"
+# Flip the last byte of the frame (the payload tail).
+python3 -c '
+import sys
+path = sys.argv[1]
+raw = bytearray(open(path, "rb").read())
+raw[-1] ^= 0x40
+open(path, "wb").write(bytes(raw))
+' "$artifact_file"
+
+"$tmp/reticle-serve" -addr "127.0.0.1:$port" -disk "$tmp/disk" -scrub-on-start \
+    >"$tmp/serve.log" 2>&1 &
+pid=$!
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "scrub server did not come up on $base"
+    sleep 0.2
+done
+# The startup scrub runs in the background; wait for it to quarantine.
+i=0
+until curl -fsS "$base/stats" | grep -q '"disk_quarantined":1'; do
+    i=$((i + 1))
+    [ "$i" -ge 50 ] && fail "startup scrub never quarantined the corrupt entry: $(curl -fsS "$base/stats")"
+    sleep 0.2
+done
+[ -d "$tmp/disk/quarantine" ] || fail "no quarantine directory after scrub"
+curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/compile" >"$tmp/healed.json" \
+    || fail "post-corruption /compile failed"
+grep -q '"verilog":' "$tmp/healed.json" || fail "healed compile has no artifact: $(cat "$tmp/healed.json")"
+extract verilog "$tmp/healed.json" "$tmp/healed.v"
+cmp -s "$tmp/first.v" "$tmp/healed.v" || fail "healed Verilog differs from the original"
+
+kill -TERM "$pid"
+wait "$pid" || fail "scrub server did not drain cleanly on SIGTERM"
+pid=""
+
+echo "service_smoke: OK (miss -> hit, identical artifact, 429 load shed, corrupt entry quarantined + healed, clean drain)"

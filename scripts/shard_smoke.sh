@@ -63,7 +63,8 @@ wait_up "http://127.0.0.1:$b2_port" "backend 2"
 
 "$tmp/reticle-shard" -addr "127.0.0.1:$rt_port" \
     -backends "http://127.0.0.1:$b1_port,http://127.0.0.1:$b2_port" \
-    -health-interval 200ms -disk "$tmp/diskcache" >"$tmp/shard.log" 2>&1 &
+    -health-interval 500ms -proxy-timeout 5s -hedge-after 150ms \
+    -disk "$tmp/diskcache" -scrub-on-start >"$tmp/shard.log" 2>&1 &
 rt_pid=$!
 pids="$pids $rt_pid"
 wait_up "$router" "router"
@@ -85,11 +86,56 @@ curl -fsS "$router/stats" >"$tmp/stats.json" || fail "router /stats failed"
 grep -q '"disk_hits":1' "$tmp/stats.json" || fail "router disk never hit: $(cat "$tmp/stats.json")"
 grep -q '"proxied":1' "$tmp/stats.json" || fail "rerun was proxied: $(cat "$tmp/stats.json")"
 
-# Kill one backend hard. A structurally new kernel (so the disk tier
-# cannot answer) must still compile: the router re-hashes it onto the
-# survivor.
+# Tail-tolerance probe: wedge backend 1 with SIGSTOP (it accepts
+# connections and then stalls — the pathological slow peer), fire a
+# burst of structurally new kernels, and SIGKILL the wedged backend
+# while requests are mid-hedge. Every request must still be served —
+# by the hedge winner or by post-kill re-hash — and at least one hedge
+# must have fired.
+kill -STOP "$b1_pid" 2>/dev/null || fail "could not SIGSTOP backend 1"
+hedge_pids=""
+i=0
+while [ "$i" -lt 10 ]; do
+    i=$((i + 1))
+    # Routing hashes kernel *structure*, so each burst kernel is an
+    # add chain of a different depth — the burst spreads across both
+    # ring positions and some primaries are guaranteed to be wedged.
+    body="    t0:i8 = add(a, b) @??;\n"
+    prev="t0"
+    j=0
+    while [ "$j" -lt "$i" ]; do
+        j=$((j + 1))
+        body="$body    t$((i + j)):i8 = add($prev, b) @??;\n"
+        prev="t$((i + j))"
+    done
+    printf '{"ir": "def hw%s(a:i8, b:i8) -> (y:i8) {\\n%s    y:i8 = add(%s, a) @??;\\n}", "family": "ultrascale", "timeout_ms": 10000}' \
+        "$i" "$body" "$prev" >"$tmp/hedge$i.json"
+    curl -fsS -X POST --data-binary @"$tmp/hedge$i.json" "$router/compile" \
+        >"$tmp/hedge$i.out" 2>/dev/null &
+    hedge_pids="$hedge_pids $!"
+done
+sleep 0.3
+# Kill the wedged backend mid-hedge: in-flight primaries error out and
+# the hedge winners' (or re-hashed) responses must be the ones served.
 kill -9 "$b1_pid" 2>/dev/null || true
+kill -CONT "$b1_pid" 2>/dev/null || true
 wait "$b1_pid" 2>/dev/null || true
+for p in $hedge_pids; do
+    wait "$p" || fail "a compile against the wedged tier failed"
+done
+i=0
+while [ "$i" -lt 10 ]; do
+    i=$((i + 1))
+    grep -q '"verilog":' "$tmp/hedge$i.out" \
+        || fail "hedge burst kernel $i served no artifact: $(cat "$tmp/hedge$i.out")"
+done
+curl -fsS "$router/stats" >"$tmp/stats2.json" || fail "router /stats failed after hedge burst"
+if grep -q '"hedges":0' "$tmp/stats2.json"; then
+    fail "no hedge fired against the wedged backend: $(cat "$tmp/stats2.json")"
+fi
+
+# A structurally new kernel (so the disk tier cannot answer) must still
+# compile: the router re-hashes it onto the survivor.
 
 cat >"$tmp/req2.json" <<'JSON'
 {"ir": "def after(a:i8, b:i8) -> (y:i8) {\n    t0:i8 = add(a, b) @??;\n    y:i8 = add(t0, b) @??;\n}", "family": "ultrascale"}
@@ -115,4 +161,4 @@ kill -TERM "$b2_pid"
 wait "$b2_pid" || fail "surviving backend did not drain cleanly"
 pids=""
 
-echo "shard_smoke: OK (routed miss -> disk hit, backend kill absorbed, dead peer reported, clean drain)"
+echo "shard_smoke: OK (routed miss -> disk hit, hedges fired under wedge, backend kill absorbed, dead peer reported, clean drain)"
