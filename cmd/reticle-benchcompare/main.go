@@ -9,12 +9,15 @@
 //	reticle-benchcompare [-threshold 0.20] [-filter regexp] base.json head.json
 //
 // Only benchmarks whose name matches -filter (default: the placement
-// and CSP-solver benchmarks plus BenchmarkEditReplay) are compared, and
-// only on metrics where lower is better: ns_per_op plus the counter
-// metrics the placement benchmarks report (solver-steps, shrink-probes,
-// steps-per-probe, steps-per-edit, place-ns). Rate metrics where higher
-// is better (hint-hit-rate, hint-cache-hit-rate, probes-skipped) are
-// never treated as regressions.
+// and CSP-solver benchmarks plus BenchmarkEditReplay, BenchmarkExplore,
+// and BenchmarkCompileBatch) are compared, and only on metrics where
+// lower is better: ns_per_op, B/op, and allocs/op (recorded when the
+// baseline ran with -benchmem) plus the counter metrics the placement
+// benchmarks report (solver-steps, shrink-probes, steps-per-probe,
+// steps-per-edit, place-ns) and the sweep engine's
+// explore-ns-per-variant. Rate metrics where higher is better
+// (hint-hit-rate, hint-cache-hit-rate, probes-skipped) are never
+// treated as regressions.
 //
 // Exit status: 0 when no compared metric regressed, 1 on regression,
 // 2 on usage or parse errors.
@@ -139,7 +142,7 @@ func inf() float64 {
 func main() {
 	threshold := flag.Float64("threshold", 0.20,
 		"fail when head exceeds base by more than this fraction")
-	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place|EditReplay|Explore`,
+	filterStr := flag.String("filter", `PlaceShrink|Solve|Shrink|Place|EditReplay|Explore|CompileBatch`,
 		"regexp of benchmark names to compare (placement-stage by default)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: reticle-benchcompare [-threshold 0.20] [-filter regexp] base.json head.json")

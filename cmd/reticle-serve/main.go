@@ -8,7 +8,8 @@
 //	reticle-serve [-addr :8080] [-cache 512] [-jobs 0] [-timeout 30s] [-max-body 1048576]
 //	              [-max-inflight 0] [-disk DIR] [-disk-bytes N]
 //	              [-hint-cache 512] [-no-hint-cache] [-explore-variants 0]
-//	              [-scrub-on-start]
+//	              [-stage-cache 512] [-no-stage-cache]
+//	              [-scrub-on-start] [-pprof ADDR]
 //
 // Endpoints (all JSON; see README "Compile service"):
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof: /debug/pprof on a side listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,7 +52,10 @@ func main() {
 	hintEntries := flag.Int("hint-cache", 0, "placement hint cache entries (0 = default); with -disk, hints persist under DIR/hints")
 	noHints := flag.Bool("no-hint-cache", false, "disable the placement hint cache (every compile solves cold)")
 	exploreVariants := flag.Int("explore-variants", 0, "per-request /explore variant cap (0 = hard default)")
+	stageEntries := flag.Int("stage-cache", 0, "per-stage compilation memo entries (0 = default); with -disk, stage results persist under DIR/stages")
+	noStages := flag.Bool("no-stage-cache", false, "disable the per-stage compilation memo (every artifact-cache miss recomputes all stages)")
 	scrubOnStart := flag.Bool("scrub-on-start", false, "verify the disk cache's checksums in the background on startup, quarantining corrupt entries")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (/debug/pprof) on this side address (empty = disabled)")
 	flag.Parse()
 
 	srv, err := reticle.NewServer(reticle.ServerOptions{
@@ -64,9 +69,22 @@ func main() {
 		HintCacheEntries:   *hintEntries,
 		NoHintCache:        *noHints,
 		MaxExploreVariants: *exploreVariants,
+		StageCacheEntries:  *stageEntries,
+		NoStageCache:       *noStages,
 	})
 	if err != nil {
 		log.Fatal("reticle-serve: ", err)
+	}
+
+	if *pprofAddr != "" {
+		// The service mux is private, so DefaultServeMux carries only the
+		// pprof registrations; keep the profiler off the service address.
+		go func() {
+			log.Printf("reticle-serve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("reticle-serve: pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,6 +12,7 @@
 //	              [-replicas 64] [-jobs 8] [-proxy-timeout 60s]
 //	              [-health-interval 2s] [-disk DIR] [-disk-bytes N]
 //	              [-max-body 1048576] [-hedge-after 300ms] [-scrub-on-start]
+//	              [-pprof ADDR]
 //
 // The endpoint surface is identical to reticle-serve (POST /compile,
 // POST /batch with buffered or NDJSON-streaming framing, GET /healthz,
@@ -28,6 +29,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof: /debug/pprof on a side listener
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +52,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain bound for in-flight requests")
 	hedgeAfter := flag.Duration("hedge-after", 0, "fire one speculative /compile attempt at the next ring backend after this delay (0 = no hedging)")
 	scrubOnStart := flag.Bool("scrub-on-start", false, "verify the disk cache's checksums in the background on startup, quarantining corrupt entries")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof (/debug/pprof) on this side address (empty = disabled)")
 	flag.Parse()
 
 	var backends []string
@@ -75,6 +78,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal("reticle-shard: ", err)
+	}
+
+	if *pprofAddr != "" {
+		// The router mux is private, so DefaultServeMux carries only the
+		// pprof registrations; keep the profiler off the proxy address.
+		go func() {
+			log.Printf("reticle-shard: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("reticle-shard: pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

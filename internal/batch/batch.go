@@ -152,6 +152,10 @@ type Stats struct {
 	Stages pipeline.StageTimes
 	// Place sums placement solver counters across successful kernels.
 	Place pipeline.PlaceStats
+	// StagesSkipped sums pipeline stages served from the stage memo
+	// across successful kernels (pipeline.Artifact.StagesSkipped);
+	// cross-kernel sharing inside one batch shows up here.
+	StagesSkipped int
 }
 
 // Compile runs every job through the shared config with at most
@@ -241,6 +245,7 @@ func Compile(ctx context.Context, cfg *pipeline.Config, jobs []Job, opts Options
 			if r.Artifact != nil {
 				st.Stages.Add(r.Artifact.Stages)
 				st.Place.Add(r.Artifact.Place)
+				st.StagesSkipped += r.Artifact.StagesSkipped
 				if r.Artifact.Degraded {
 					st.Degraded++
 				}

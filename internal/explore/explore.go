@@ -128,12 +128,18 @@ type FrontierPoint struct {
 
 // Stats aggregates one sweep.
 type Stats struct {
-	Variants       int
-	Succeeded      int
-	Failed         int
-	Degraded       int
-	CacheHits      int
-	Retried        int
+	Variants  int
+	Succeeded int
+	Failed    int
+	Degraded  int
+	CacheHits int
+	Retried   int
+	// StagesSkipped sums pipeline stages served from the stage memo
+	// across the sweep's compiled variants: with a StageCache wired,
+	// variants fork the pipeline at their first diverging stage, and
+	// the shared prefix lands here. Variants served whole from an
+	// artifact cache tier count in CacheHits, not here.
+	StagesSkipped  int
 	Wall           time.Duration
 	VariantsPerSec float64
 }
@@ -249,6 +255,8 @@ func Run(ctx context.Context, cfg *pipeline.Config, f *ir.Func, opts Options) (*
 			res.Stats.Succeeded++
 			if vr.CacheHit {
 				res.Stats.CacheHits++
+			} else if vr.Artifact != nil {
+				res.Stats.StagesSkipped += vr.Artifact.StagesSkipped
 			}
 			if vr.Degraded {
 				res.Stats.Degraded++

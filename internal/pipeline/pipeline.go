@@ -88,6 +88,17 @@ type Config struct {
 	// on purpose: adoption is signature-checked inside internal/place,
 	// so the cache can accelerate a compile but never change its output.
 	HintCache HintCache
+
+	// StageCache, when set, memoizes each stage boundary under the
+	// content-addressed per-stage keys of stagecache.go (DESIGN.md §15):
+	// selection and cascade outputs are reused byte-for-byte, whole
+	// placements are adopted on an exact stage-key match (skipping the
+	// solver and the hint cache entirely), and codegen+timing are served
+	// fused off the placed assembly. Excluded from Fingerprint like
+	// HintCache: every adopted payload is validated before use and
+	// degraded results are never stored, so the memo can accelerate a
+	// compile but never change its output.
+	StageCache StageCache
 }
 
 // HintCache is the cross-request placement hint store the pipeline
@@ -256,10 +267,18 @@ type Artifact struct {
 	SolverSteps int
 	// Place carries the full placement solver counters.
 	Place PlaceStats
-	// WarmStart reports how placement used the hint cache: "adopted"
-	// (recorded solution taken outright, zero solver steps), or ""
-	// (cold solve — including every compile with no hint cache wired).
+	// WarmStart reports how placement was warm-started: "adopted"
+	// (hint-cache solution taken outright, zero solver steps), "stage"
+	// (whole placement adopted from the stage memo on an exact
+	// stage-key match — no solver run, no hint lookup), or "" (cold
+	// solve — including every compile with no cache wired).
 	WarmStart string
+	// StagesSkipped counts pipeline stages served from the stage memo
+	// instead of recomputing (an output-stage hit counts both codegen
+	// and timing). Zero for every compile without a StageCache wired.
+	// Process-local accounting only — never on the wire, so memoized
+	// and cold artifacts render identical deterministic payloads.
+	StagesSkipped int
 
 	// Degraded reports a budget-truncated placement: either placement
 	// fell back to the greedy first-fit placer after the CSP solver
@@ -321,14 +340,37 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		ctx = context.Background()
 	}
 
+	// The stage memo, when wired. Every stage below keeps the same
+	// shape: fire the stage boundary (fault point + context check)
+	// first — so an armed chaos plan hits the memoized path exactly
+	// like the recompute path — then consult the memo, and only then
+	// recompute. Degraded results are never stored.
+	sc := cfg.StageCache
+	skipped := 0
+
 	var stages StageTimes
 	t0 := time.Now()
 	if err := stageBoundary(ctx, "selection", FaultSelect); err != nil {
 		return nil, err
 	}
-	af, err := isel.SelectWithLibrary(f, cfg.Lib, isel.Options{Greedy: cfg.Greedy})
-	if err != nil {
-		return nil, rerr.Wrap(rerr.Permanent, "select_failed", "instruction selection failed", err)
+	var af *asm.Func
+	selKey := ""
+	if sc != nil {
+		selKey = SelectKeyFor(cfg, f)
+		if fn, ok := lookupAsm(ctx, sc, StageSelect, selKey); ok {
+			af = fn
+			skipped++
+		}
+	}
+	if af == nil {
+		var err error
+		af, err = isel.SelectWithLibrary(f, cfg.Lib, isel.Options{Greedy: cfg.Greedy})
+		if err != nil {
+			return nil, rerr.Wrap(rerr.Permanent, "select_failed", "instruction selection failed", err)
+		}
+		if sc != nil {
+			sc.Store(ctx, StageSelect, selKey, []byte(af.String()))
+		}
 	}
 	stages.Select = time.Since(t0)
 
@@ -338,16 +380,35 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		if err := stageBoundary(ctx, "layout optimization", FaultCascade); err != nil {
 			return nil, err
 		}
-		opt, st, err := cascade.Apply(af, cfg.Target, cascade.Options{
-			Cascades: cfg.Cascades,
-			AccPort:  "c",
-			MaxChain: cfg.Device.Height,
-		})
-		if err != nil {
-			return nil, rerr.Wrap(rerr.Permanent, "cascade_failed", "layout optimization failed", err)
+		cascaded := false
+		casKey := ""
+		if sc != nil {
+			casKey = CascadeKeyFor(cfg, af)
+			var ce cascadeEntry
+			if lookupJSON(ctx, sc, StageCascade, casKey, &ce) {
+				if fn, err := asm.Parse(ce.Asm); err == nil && fn != nil {
+					af = fn
+					chains = ce.Chains
+					cascaded = true
+					skipped++
+				}
+			}
 		}
-		af = opt
-		chains = st.Chains
+		if !cascaded {
+			opt, st, err := cascade.Apply(af, cfg.Target, cascade.Options{
+				Cascades: cfg.Cascades,
+				AccPort:  "c",
+				MaxChain: cfg.Device.Height,
+			})
+			if err != nil {
+				return nil, rerr.Wrap(rerr.Permanent, "cascade_failed", "layout optimization failed", err)
+			}
+			if sc != nil {
+				storeJSON(ctx, sc, StageCascade, casKey, cascadeEntry{Asm: opt.String(), Chains: st.Chains})
+			}
+			af = opt
+			chains = st.Chains
+		}
 	}
 	stages.Cascade = time.Since(tc)
 
@@ -355,70 +416,97 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		return nil, err
 	}
 	tp := time.Now()
-	popts := place.Options{
-		Shrink:        cfg.Shrink,
-		MaxSteps:      cfg.MaxSolverSteps,
-		SolverTimeout: cfg.SolverTimeout,
-	}
-	// Cross-request warm start: look up recorded anchors under the
-	// structural key. Note HintSeed stays false — the pipeline only
-	// accepts the exact-adoption path, never best-effort seeding, so a
-	// cached artifact is byte-identical whether or not the hint cache
-	// held anything (see internal/place/hints.go).
-	hintKey := ""
-	if cfg.HintCache != nil {
-		hintKey = HintKeyFor(cfg, f)
-		popts.Hints = cfg.HintCache.Lookup(ctx, hintKey)
-	}
 	var placedFn *asm.Func
 	var placeStats PlaceStats
-	var anchors *place.Anchors
 	warmStart := ""
 	degraded := false
 	degradedReason := ""
-	if cfg.TimingDriven {
-		ref, err := refine.PlaceContext(ctx, af, cfg.Target, cfg.Device, refine.Options{Place: popts})
-		if err != nil {
-			// Placement errors arrive typed from place.PlaceContext
-			// (capacity exhausted, unsat permanent, deadline); keep the
-			// classification, just add the stage label.
-			return nil, fmt.Errorf("reticle: placement: %w", err)
+	placeKey := ""
+	if sc != nil {
+		// Whole-placement adoption: an exact stage-key match means the
+		// placement problem (layout-optimized assembly + device + every
+		// output-relevant option) is byte-identical to one already
+		// solved, so the recorded layout is taken outright — no solver,
+		// no hint lookup, zero steps. place.Verify revalidates the
+		// adopted layout against the current input, so a stale or
+		// hand-corrupted entry degrades to a cold solve, never to a
+		// wrong artifact.
+		placeKey = PlaceKeyFor(cfg, af)
+		if fn, ok := lookupAsm(ctx, sc, StagePlace, placeKey); ok {
+			if place.Verify(af, fn, cfg.Device) == nil {
+				placedFn = fn
+				warmStart = "stage"
+				skipped++
+			}
 		}
-		placedFn = ref.Placed
-		placeStats = PlaceStats{
-			SolverSteps:   ref.SolverSteps,
-			ShrinkProbes:  ref.ShrinkProbes,
-			ProbesSkipped: ref.ProbesSkipped,
-			HintHits:      ref.HintHits,
-			HintTried:     ref.HintTried,
-		}
-		anchors, warmStart = ref.Anchors, ref.WarmStart
-		degraded, degradedReason = ref.Degraded, ref.DegradedReason
-	} else {
-		placed, err := place.PlaceContext(ctx, af, cfg.Device, popts)
-		if err != nil {
-			return nil, fmt.Errorf("reticle: placement: %w", err)
-		}
-		placedFn = placed.Fn
-		placeStats = PlaceStats{
-			SolverSteps:   placed.SolverSteps,
-			ShrinkProbes:  placed.ShrinkIters,
-			ProbesSkipped: placed.ProbesSkipped,
-			HintHits:      placed.HintHits,
-			HintTried:     placed.HintTried,
-		}
-		anchors, warmStart = placed.Anchors, placed.WarmStart
-		degraded, degradedReason = placed.Degraded, placed.DegradedReason
 	}
-	if warmStart == "adopted" && anchors != nil {
-		placeStats.HintCacheHits = 1
-		placeStats.HintCacheStepsSaved = anchors.ColdSteps
-	}
-	// Record only fresh cold solutions: degraded placements carry no
-	// anchors (place never records them), and an adoption would just
-	// re-store the entry it was served from.
-	if cfg.HintCache != nil && anchors != nil && warmStart != "adopted" {
-		cfg.HintCache.Record(ctx, hintKey, anchors)
+	if placedFn == nil {
+		popts := place.Options{
+			Shrink:        cfg.Shrink,
+			MaxSteps:      cfg.MaxSolverSteps,
+			SolverTimeout: cfg.SolverTimeout,
+		}
+		// Cross-request warm start: look up recorded anchors under the
+		// structural key. Note HintSeed stays false — the pipeline only
+		// accepts the exact-adoption path, never best-effort seeding, so a
+		// cached artifact is byte-identical whether or not the hint cache
+		// held anything (see internal/place/hints.go).
+		hintKey := ""
+		if cfg.HintCache != nil {
+			hintKey = HintKeyFor(cfg, f)
+			popts.Hints = cfg.HintCache.Lookup(ctx, hintKey)
+		}
+		var anchors *place.Anchors
+		if cfg.TimingDriven {
+			ref, err := refine.PlaceContext(ctx, af, cfg.Target, cfg.Device, refine.Options{Place: popts})
+			if err != nil {
+				// Placement errors arrive typed from place.PlaceContext
+				// (capacity exhausted, unsat permanent, deadline); keep the
+				// classification, just add the stage label.
+				return nil, fmt.Errorf("reticle: placement: %w", err)
+			}
+			placedFn = ref.Placed
+			placeStats = PlaceStats{
+				SolverSteps:   ref.SolverSteps,
+				ShrinkProbes:  ref.ShrinkProbes,
+				ProbesSkipped: ref.ProbesSkipped,
+				HintHits:      ref.HintHits,
+				HintTried:     ref.HintTried,
+			}
+			anchors, warmStart = ref.Anchors, ref.WarmStart
+			degraded, degradedReason = ref.Degraded, ref.DegradedReason
+		} else {
+			placed, err := place.PlaceContext(ctx, af, cfg.Device, popts)
+			if err != nil {
+				return nil, fmt.Errorf("reticle: placement: %w", err)
+			}
+			placedFn = placed.Fn
+			placeStats = PlaceStats{
+				SolverSteps:   placed.SolverSteps,
+				ShrinkProbes:  placed.ShrinkIters,
+				ProbesSkipped: placed.ProbesSkipped,
+				HintHits:      placed.HintHits,
+				HintTried:     placed.HintTried,
+			}
+			anchors, warmStart = placed.Anchors, placed.WarmStart
+			degraded, degradedReason = placed.Degraded, placed.DegradedReason
+		}
+		if warmStart == "adopted" && anchors != nil {
+			placeStats.HintCacheHits = 1
+			placeStats.HintCacheStepsSaved = anchors.ColdSteps
+		}
+		// Record only fresh cold solutions: degraded placements carry no
+		// anchors (place never records them), and an adoption would just
+		// re-store the entry it was served from.
+		if cfg.HintCache != nil && anchors != nil && warmStart != "adopted" {
+			cfg.HintCache.Record(ctx, hintKey, anchors)
+		}
+		// Memoize only non-degraded layouts: a degraded placement is
+		// wall-clock-dependent, so storing it would let one slow compile
+		// pin a bad layout on every future exact-key match.
+		if sc != nil && !degraded {
+			sc.Store(ctx, StagePlace, placeKey, []byte(placedFn.String()))
+		}
 	}
 	stages.Place = time.Since(tp)
 
@@ -426,12 +514,54 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 		return nil, err
 	}
 	tg := time.Now()
+	outKey := ""
+	var out *outputEntry
+	if sc != nil {
+		outKey = OutputKeyFor(cfg, placedFn)
+		var oe outputEntry
+		if lookupJSON(ctx, sc, StageOutput, outKey, &oe) && oe.Verilog != "" {
+			out = &oe
+		}
+	}
+	art := &Artifact{
+		IR:             f,
+		Asm:            af,
+		Placed:         placedFn,
+		CascadeChains:  chains,
+		SolverSteps:    placeStats.SolverSteps,
+		Place:          placeStats,
+		WarmStart:      warmStart,
+		Degraded:       degraded,
+		DegradedReason: degradedReason,
+	}
+	if out != nil {
+		// Fused codegen+timing memo hit: both stages are pure functions
+		// of the placed assembly under (target, device), so the stored
+		// entry carries everything they would recompute. The timing
+		// boundary still fires so an armed pipeline/timing fault hits
+		// memoized compiles too. Module stays nil on this path — only
+		// in-process callers that wired a StageCache themselves can see
+		// the difference (the wire form carries rendered Verilog only).
+		stages.Codegen = time.Since(tg)
+		art.CompileDur = time.Since(t0)
+		if err := stageBoundary(ctx, "timing analysis", FaultTiming); err != nil {
+			return nil, err
+		}
+		skipped += 2
+		art.Verilog = out.Verilog
+		art.LUTs, art.DSPs, art.FFs, art.Carries = out.LUTs, out.DSPs, out.FFs, out.Carries
+		art.CriticalNs, art.FMaxMHz = out.CriticalNs, out.FMaxMHz
+		art.CriticalPath = out.CriticalPath
+		art.Stages = stages
+		art.StagesSkipped = skipped
+		return art, nil
+	}
 	mod, stats, err := codegen.Generate(placedFn, cfg.Target)
 	if err != nil {
 		return nil, rerr.Wrap(rerr.Permanent, "codegen_failed", "code generation failed", err)
 	}
 	stages.Codegen = time.Since(tg)
-	dur := time.Since(t0)
+	art.CompileDur = time.Since(t0)
 
 	if err := stageBoundary(ctx, "timing analysis", FaultTiming); err != nil {
 		return nil, err
@@ -443,26 +573,24 @@ func Compile(ctx context.Context, cfg *Config, f *ir.Func) (*Artifact, error) {
 	}
 	stages.Timing = time.Since(tt)
 
-	return &Artifact{
-		CriticalPath:   rep.Path,
-		IR:             f,
-		Asm:            af,
-		Placed:         placedFn,
-		Module:         mod,
-		Verilog:        mod.String(),
-		LUTs:           stats.Luts,
-		DSPs:           stats.Dsps,
-		FFs:            stats.FFs,
-		Carries:        stats.Carries,
-		CriticalNs:     rep.CriticalNs,
-		FMaxMHz:        rep.FMaxMHz,
-		CompileDur:     dur,
-		Stages:         stages,
-		CascadeChains:  chains,
-		SolverSteps:    placeStats.SolverSteps,
-		Place:          placeStats,
-		WarmStart:      warmStart,
-		Degraded:       degraded,
-		DegradedReason: degradedReason,
-	}, nil
+	art.Module = mod
+	art.Verilog = mod.String()
+	art.LUTs, art.DSPs, art.FFs, art.Carries = stats.Luts, stats.Dsps, stats.FFs, stats.Carries
+	art.CriticalNs, art.FMaxMHz = rep.CriticalNs, rep.FMaxMHz
+	art.CriticalPath = rep.Path
+	art.Stages = stages
+	art.StagesSkipped = skipped
+	if sc != nil && !degraded {
+		storeJSON(ctx, sc, StageOutput, outKey, outputEntry{
+			Verilog:      art.Verilog,
+			LUTs:         art.LUTs,
+			DSPs:         art.DSPs,
+			FFs:          art.FFs,
+			Carries:      art.Carries,
+			CriticalNs:   art.CriticalNs,
+			FMaxMHz:      art.FMaxMHz,
+			CriticalPath: art.CriticalPath,
+		})
+	}
+	return art, nil
 }

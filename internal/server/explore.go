@@ -222,6 +222,7 @@ func exploreStatsJSON(st explore.Stats) ExploreStatsJSON {
 		Failed:         st.Failed,
 		Degraded:       st.Degraded,
 		CacheHits:      st.CacheHits,
+		StagesSkipped:  st.StagesSkipped,
 		Retried:        st.Retried,
 		WallNS:         st.Wall.Nanoseconds(),
 		VariantsPerSec: st.VariantsPerSec,

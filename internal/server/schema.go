@@ -2,10 +2,12 @@ package server
 
 import (
 	"encoding/json"
+	"runtime"
 
 	"reticle/internal/cache"
 	"reticle/internal/hintcache"
 	"reticle/internal/pipeline"
+	"reticle/internal/stagecache"
 )
 
 // CompileRequest is the POST /compile body.
@@ -178,6 +180,9 @@ type BatchStatsJSON struct {
 	// Retried counts extra compile attempts spent on transient failures.
 	Degraded int `json:"degraded,omitempty"`
 	Retried  int `json:"retried,omitempty"`
+	// StagesSkipped totals pipeline stages served from the stage memo
+	// across the batch's compiled kernels (cross-kernel sharing).
+	StagesSkipped int `json:"stages_skipped,omitempty"`
 }
 
 // BatchResponse is the POST /batch success body.
@@ -285,6 +290,78 @@ type HintCacheStatsJSON struct {
 	Disk *DiskStatsJSON `json:"disk,omitempty"`
 }
 
+// StageCounterJSON is one pipeline stage's memo counters inside the
+// stage_cache section of GET /stats.
+type StageCounterJSON struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Stores uint64 `json:"stores"`
+	// Bytes totals payload bytes accepted by Store for this stage
+	// (cumulative; LRU evictions do not subtract).
+	Bytes int64 `json:"bytes"`
+}
+
+// StageCacheStatsJSON is the per-stage compilation memo section of GET
+// /stats, present when the server runs with the stage cache enabled
+// (the default). Lookups happen only on artifact-cache misses, so the
+// per-stage hit/miss sums track compiled kernels, not requests.
+type StageCacheStatsJSON struct {
+	Entries    int `json:"entries"`
+	MaxEntries int `json:"max_entries"`
+	// StagesSkipped totals pipeline stages served from the memo instead
+	// of recomputing, across /compile, /batch, and /explore (an
+	// output-stage hit skips both codegen and timing, so it counts 2).
+	StagesSkipped int64            `json:"stages_skipped"`
+	Select        StageCounterJSON `json:"select"`
+	Cascade       StageCounterJSON `json:"cascade"`
+	Place         StageCounterJSON `json:"place"`
+	Output        StageCounterJSON `json:"output"`
+	// Disk describes the persistent stage level (DiskDir/stages),
+	// present only when the server runs with -disk.
+	Disk *DiskStatsJSON `json:"disk,omitempty"`
+}
+
+// StageCacheTotalsJSON is the flattened stage-memo sum the shard router
+// aggregates across backends.
+type StageCacheTotalsJSON struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Stores        uint64 `json:"stores"`
+	Bytes         int64  `json:"bytes"`
+	StagesSkipped int64  `json:"stages_skipped"`
+}
+
+// Totals flattens the per-stage counters for tier-level aggregation.
+func (j StageCacheStatsJSON) Totals() StageCacheTotalsJSON {
+	t := StageCacheTotalsJSON{StagesSkipped: j.StagesSkipped}
+	for _, s := range []StageCounterJSON{j.Select, j.Cascade, j.Place, j.Output} {
+		t.Hits += s.Hits
+		t.Misses += s.Misses
+		t.Stores += s.Stores
+		t.Bytes += s.Bytes
+	}
+	return t
+}
+
+// MemStatsJSON is the runtime memory/GC snapshot section of GET /stats
+// (both the compile service and the shard router report one), so cache
+// sizing and stage-memo wins are attributable against live heap and GC
+// pressure without attaching a profiler. For the full picture, run with
+// -pprof and scrape /debug/pprof.
+type MemStatsJSON struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64  `json:"heap_sys_bytes"`
+	HeapObjects     uint64  `json:"heap_objects"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	Frees           uint64  `json:"frees"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalNS  uint64  `json:"gc_pause_total_ns"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+	NextGCBytes     uint64  `json:"next_gc_bytes"`
+	Goroutines      int     `json:"goroutines"`
+}
+
 // StatsResponse is the GET /stats body.
 type StatsResponse struct {
 	Requests        int64          `json:"requests"`
@@ -299,6 +376,11 @@ type StatsResponse struct {
 	// HintCache snapshots the placement hint store, omitted when the
 	// server runs with the hint cache disabled.
 	HintCache *HintCacheStatsJSON `json:"hint_cache,omitempty"`
+	// StageCache snapshots the per-stage compilation memo, omitted when
+	// the server runs with the stage cache disabled.
+	StageCache *StageCacheStatsJSON `json:"stage_cache,omitempty"`
+	// Mem is a point-in-time runtime.MemStats/GC snapshot.
+	Mem MemStatsJSON `json:"mem"`
 	// Explore accumulates /explore sweep counters.
 	Explore ExploreTotalsJSON `json:"explore"`
 }
@@ -380,6 +462,57 @@ func hintCacheJSON(hs hintcache.Stats) HintCacheStatsJSON {
 		out.Disk = &dj
 	}
 	return out
+}
+
+// stageCounterJSON renders one stage's memo counters for the wire.
+func stageCounterJSON(st stagecache.StageStats) StageCounterJSON {
+	return StageCounterJSON{
+		Hits:   st.Hits,
+		Misses: st.Misses,
+		Stores: st.Stores,
+		Bytes:  st.Bytes,
+	}
+}
+
+// stageCacheJSON renders the stage memo snapshot for the wire. skips is
+// the server-side stages-skipped accumulator (compileKernel fill paths
+// plus /batch and /explore aggregation), not a store counter: the store
+// counts lookups, the server counts stages it did not recompute.
+func stageCacheJSON(st stagecache.Stats, skips int64) StageCacheStatsJSON {
+	out := StageCacheStatsJSON{
+		Entries:       st.Entries,
+		MaxEntries:    st.MaxEntries,
+		StagesSkipped: skips,
+		Select:        stageCounterJSON(st.Select),
+		Cascade:       stageCounterJSON(st.Cascade),
+		Place:         stageCounterJSON(st.Place),
+		Output:        stageCounterJSON(st.Output),
+	}
+	if st.Disk != nil {
+		dj := DiskStatsJSONFrom(*st.Disk)
+		out.Disk = &dj
+	}
+	return out
+}
+
+// MemStatsJSONNow snapshots the Go runtime for the wire; the shard
+// router reuses it for its own mem section.
+func MemStatsJSONNow() MemStatsJSON {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemStatsJSON{
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+		GCCPUFraction:   ms.GCCPUFraction,
+		NextGCBytes:     ms.NextGC,
+		Goroutines:      runtime.NumGoroutine(),
+	}
 }
 
 // stageJSON renders stage times for the wire.
@@ -464,7 +597,11 @@ type ExploreStatsJSON struct {
 	Degraded  int `json:"degraded,omitempty"`
 	// CacheHits counts variants served from a cache tier (memory or
 	// disk) instead of compiling.
-	CacheHits      int     `json:"cache_hits"`
+	CacheHits int `json:"cache_hits"`
+	// StagesSkipped totals pipeline stages served from the stage memo
+	// across the sweep's compiled variants (shared-prefix forking);
+	// whole-artifact cache hits count in CacheHits, not here.
+	StagesSkipped  int     `json:"stages_skipped,omitempty"`
 	Retried        int     `json:"retried,omitempty"`
 	WallNS         int64   `json:"wall_ns"`
 	VariantsPerSec float64 `json:"variants_per_sec"`

@@ -43,6 +43,7 @@ import (
 	"reticle/internal/ir"
 	"reticle/internal/pipeline"
 	"reticle/internal/rerr"
+	"reticle/internal/stagecache"
 )
 
 // Fault points in the HTTP tier, for the chaos suite and operational
@@ -113,6 +114,16 @@ type Options struct {
 	// (requests past the cap are clamped); <=0 means
 	// explore.HardMaxVariants.
 	MaxExploreVariants int
+	// StageCacheEntries bounds the per-stage compilation memo
+	// (internal/stagecache — selected assembly, layout-optimized
+	// assembly, whole placements, fused codegen+timing output, shared
+	// across /compile, /batch, and /explore); <=0 means
+	// cache.DefaultEntries. With DiskDir set, stage results also
+	// persist under DiskDir/stages and survive restarts.
+	StageCacheEntries int
+	// NoStageCache disables the stage memo: every artifact-cache miss
+	// recomputes all five stages, exactly the pre-stage-cache behavior.
+	NoStageCache bool
 }
 
 // Server serves compile requests over shared read-only pipeline configs,
@@ -124,8 +135,9 @@ type Server struct {
 	configs map[string]*pipeline.Config
 	cache   *cache.Cache[cachedArtifact]
 	texts   *cache.Cache[textEntry]
-	disk    *cache.Disk      // persistent second level; nil when disabled
-	hints   *hintcache.Store // placement hint store; nil when disabled
+	disk    *cache.Disk       // persistent second level; nil when disabled
+	hints   *hintcache.Store  // placement hint store; nil when disabled
+	stagec  *stagecache.Store // per-stage compilation memo; nil when disabled
 	mux     *http.ServeMux
 	hs      *http.Server
 	start   time.Time
@@ -140,6 +152,8 @@ type Server struct {
 	exploreVariants atomic.Int64 // variants swept, across all sweeps
 	exploreHits     atomic.Int64 // variants served from a cache tier
 	explorePartial  atomic.Int64 // sweeps that returned partial
+
+	stageSkips atomic.Int64 // pipeline stages served from the stage memo
 
 	stageMu sync.Mutex
 	stages  pipeline.StageTimes // cumulative, compiled kernels only
@@ -237,20 +251,38 @@ func New(opts Options, configs map[string]*pipeline.Config) (*Server, error) {
 		s.hints = hintcache.New(opts.HintCacheEntries)
 		if opts.DiskDir != "" {
 			// Hints live in a subdirectory of the artifact disk root:
-			// OpenDisk skips directories when indexing, so the two stores
+			// OpenDisk skips directories when indexing, so the stores
 			// share one -disk tree without colliding.
 			if err := s.hints.AttachDisk(filepath.Join(opts.DiskDir, "hints"), opts.DiskMaxBytes); err != nil {
 				return nil, fmt.Errorf("server: hint cache disk: %w", err)
 			}
 		}
-		// The hint cache rides inside the pipeline config, so clone each
+	}
+	if !opts.NoStageCache {
+		s.stagec = stagecache.New(opts.StageCacheEntries)
+		if opts.DiskDir != "" {
+			// Stage results live under DIR/stages, beside DIR/hints.
+			if err := s.stagec.AttachDisk(filepath.Join(opts.DiskDir, "stages"), opts.DiskMaxBytes); err != nil {
+				return nil, fmt.Errorf("server: stage cache disk: %w", err)
+			}
+		}
+	}
+	if s.hints != nil || s.stagec != nil {
+		// Both memos ride inside the pipeline config, so clone each
 		// family config rather than mutate the caller's. Fingerprint
-		// ignores HintCache (adoption cannot change output), so every
-		// cache key is identical with or without it.
+		// ignores HintCache and StageCache (adoption cannot change
+		// output), so every artifact cache key is identical with or
+		// without them — and one shared store per server means /explore
+		// variants and /batch kernels fork off each other's stages.
 		wired := make(map[string]*pipeline.Config, len(configs))
 		for name, cfg := range configs {
 			cc := *cfg
-			cc.HintCache = s.hints
+			if s.hints != nil {
+				cc.HintCache = s.hints
+			}
+			if s.stagec != nil {
+				cc.StageCache = s.stagec
+			}
 			wired[name] = &cc
 		}
 		s.configs = wired
@@ -321,6 +353,10 @@ func (s *Server) Disk() *cache.Disk { return s.disk }
 // Hints exposes the placement hint store (nil when disabled); the
 // edit-replay and crash-restart suites read it.
 func (s *Server) Hints() *hintcache.Store { return s.hints }
+
+// StageCache exposes the per-stage compilation memo (nil when
+// disabled); the memoization and crash-restart suites read it.
+func (s *Server) StageCache() *stagecache.Store { return s.stagec }
 
 // ScrubDisk runs one integrity walk over the persistent disk cache at
 // the given I/O rate (<=0 means the cache default). It reports ok=false
@@ -541,6 +577,7 @@ func (s *Server) compileKernel(ctx context.Context, cfg *pipeline.Config, f *ir.
 		s.stages.Add(art.Stages)
 		s.place.Add(art.Place)
 		s.stageMu.Unlock()
+		s.stageSkips.Add(int64(art.StagesSkipped))
 		ca := render(art)
 		if !art.Degraded {
 			s.diskPut(ctx, key, ca.rendered)
@@ -710,6 +747,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.stages.Add(stats.Stages)
 		s.place.Add(stats.Place)
 		s.stageMu.Unlock()
+		s.stageSkips.Add(int64(stats.StagesSkipped))
 	}
 
 	results := prep.results
@@ -758,6 +796,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			KernelsPerSec: stats.KernelsPerSec,
 			Degraded:      degraded,
 			Retried:       stats.Retried,
+			StagesSkipped: stats.StagesSkipped,
 		},
 	})
 }
@@ -844,6 +883,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		hj := hintCacheJSON(s.hints.Stats())
 		hints = &hj
 	}
+	var stagec *StageCacheStatsJSON
+	if s.stagec != nil {
+		sj := stageCacheJSON(s.stagec.Stats(), s.stageSkips.Load())
+		stagec = &sj
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Requests:        s.requests.Load(),
 		Kernels:         s.kernels.Load(),
@@ -861,10 +905,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:   cs.InFlight,
 			HitRate:    cs.HitRate(),
 		},
-		Disk:      disk,
-		Stages:    stageJSON(st),
-		Place:     placeJSON(ps),
-		HintCache: hints,
+		Disk:       disk,
+		Stages:     stageJSON(st),
+		Place:      placeJSON(ps),
+		HintCache:  hints,
+		StageCache: stagec,
+		Mem:        MemStatsJSONNow(),
 		Explore: ExploreTotalsJSON{
 			Sweeps:           s.exploreSweeps.Load(),
 			Variants:         s.exploreVariants.Load(),

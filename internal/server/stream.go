@@ -81,6 +81,7 @@ func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, famName
 			s.stages.Add(st.Stages)
 			s.place.Add(st.Place)
 			s.stageMu.Unlock()
+			s.stageSkips.Add(int64(st.StagesSkipped))
 		}()
 	} else {
 		close(batchDone)
@@ -164,6 +165,7 @@ func (s *Server) streamBatch(ctx context.Context, w http.ResponseWriter, famName
 			KernelsPerSec: stats.KernelsPerSec,
 			Degraded:      degraded,
 			Retried:       stats.Retried,
+			StagesSkipped: stats.StagesSkipped,
 		},
 	})
 	flush()

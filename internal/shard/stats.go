@@ -66,6 +66,11 @@ type AggregateStats struct {
 	// Explore sums the backends' /explore sweep counters (sweeps are
 	// proxied whole to one backend, so the sums are exact).
 	Explore server.ExploreTotalsJSON `json:"explore"`
+	// StageCache sums the backends' per-stage memo counters. Stage
+	// memos are backend-local (keyed by stage input, never proxied), so
+	// the flat sum is exact; present only when at least one polled
+	// backend reports a stage_cache section.
+	StageCache *server.StageCacheTotalsJSON `json:"stage_cache,omitempty"`
 }
 
 // RouterStatsJSON is the router's own counters.
@@ -97,6 +102,9 @@ type StatsResponse struct {
 	Backends  []BackendStats  `json:"backends"`
 	Aggregate AggregateStats  `json:"aggregate"`
 	Router    RouterStatsJSON `json:"router"`
+	// Mem is the router process's own runtime snapshot (each backend
+	// reports its own inside Backends[i].Stats.Mem).
+	Mem server.MemStatsJSON `json:"mem"`
 }
 
 // pollBackendStats fetches one backend's /stats.
@@ -174,6 +182,17 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Aggregate.Explore.Variants += bs.Stats.Explore.Variants
 		resp.Aggregate.Explore.VariantCacheHits += bs.Stats.Explore.VariantCacheHits
 		resp.Aggregate.Explore.Partial += bs.Stats.Explore.Partial
+		if sc := bs.Stats.StageCache; sc != nil {
+			if resp.Aggregate.StageCache == nil {
+				resp.Aggregate.StageCache = &server.StageCacheTotalsJSON{}
+			}
+			t := sc.Totals()
+			resp.Aggregate.StageCache.Hits += t.Hits
+			resp.Aggregate.StageCache.Misses += t.Misses
+			resp.Aggregate.StageCache.Stores += t.Stores
+			resp.Aggregate.StageCache.Bytes += t.Bytes
+			resp.Aggregate.StageCache.StagesSkipped += t.StagesSkipped
+		}
 	}
 	if rt.disk != nil {
 		ds := server.DiskStatsJSONFrom(rt.disk.Stats())
@@ -181,5 +200,6 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Aggregate.DiskHits = ds.Hits
 	}
 	resp.Aggregate.TotalHits = resp.Aggregate.BackendCacheHits + resp.Aggregate.DiskHits
+	resp.Mem = server.MemStatsJSONNow()
 	writeJSON(w, http.StatusOK, resp)
 }

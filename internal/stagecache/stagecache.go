@@ -1,0 +1,228 @@
+// Package stagecache is the cross-request per-stage compilation memo
+// (DESIGN.md §15): a bounded LRU from content-addressed stage key
+// (pipeline.SelectKeyFor and friends — stage tag + exact stage input
+// text + stage-relevant config fingerprint slice) to the stage's
+// serialized result, with an optional checksummed on-disk second level
+// beside the artifact disk cache so memoized stages survive restarts.
+//
+// The store implements pipeline.StageCache. It is strictly an
+// accelerator: Lookup degrades to a miss on every internal failure
+// (armed fault point, missing entry, disk error, corrupt frame), Store
+// degrades to a no-op, and the pipeline validates every payload before
+// adopting it (asm parse, JSON decode, place.Verify for placements), so
+// nothing this package serves can change a compile's output — only how
+// much of it had to be recomputed.
+package stagecache
+
+import (
+	"context"
+	"sync/atomic"
+
+	"reticle/internal/cache"
+	"reticle/internal/faults"
+	"reticle/internal/pipeline"
+)
+
+// Fault points for the chaos suite and operational drills. An armed
+// lookup plan turns every memo consult into a miss — the pipeline must
+// recompute transparently with zero 5xx — and an armed store plan drops
+// every memo write, so the cache never warms.
+var (
+	FaultLookup = faults.Register("stagecache/lookup", "stage cache lookup: degrade to a recompute")
+	FaultStore  = faults.Register("stagecache/store", "stage cache store: drop the memo write")
+)
+
+// shield detaches the context's fault plan before the store's inner
+// cache.Disk calls, for the same reason hintcache shields: the disk
+// level shares the cache/disk-read and cache/disk-write fault points
+// with the artifact disk cache, and a Times-capped injection aimed at
+// the artifact tier must not be consumed by whichever stage persist
+// happens to run first. The store's own designated chaos points are
+// stagecache/lookup and stagecache/store, fired with the real context.
+func shield(ctx context.Context) context.Context {
+	return faults.WithPlan(ctx, nil)
+}
+
+// StageStats is one stage's counter snapshot.
+type StageStats struct {
+	// Hits / Misses count Lookup outcomes (a disk promotion is a hit;
+	// an armed stagecache/lookup fault is a miss).
+	Hits, Misses uint64
+	// Stores counts accepted Store calls; Bytes totals their payload
+	// bytes (cumulative — LRU evictions do not subtract).
+	Stores uint64
+	Bytes  int64
+}
+
+// counters is the internal atomic form of StageStats.
+type counters struct {
+	hits, misses, stores atomic.Uint64
+	bytes                atomic.Int64
+}
+
+func (c *counters) snapshot() StageStats {
+	return StageStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Stores: c.stores.Load(),
+		Bytes:  c.bytes.Load(),
+	}
+}
+
+// Store is a bounded in-memory per-stage memo with an optional disk
+// level. All methods are safe for concurrent use; the zero value is not
+// valid, use New. Payloads handed to Store must not be mutated
+// afterwards (the memory level shares the slice with future Lookups).
+type Store struct {
+	mem  *cache.Cache[[]byte]
+	disk *cache.Disk
+
+	// One counter set per pipeline stage. Stage keys embed the stage
+	// tag in the hash, so the four stages share one LRU without
+	// collisions; only the accounting is split.
+	sel, cas, pl, out counters
+	other             counters // unknown stage names, future-proofing
+}
+
+// New returns a memory-only store bounded to maxEntries stage payloads
+// (cache.DefaultEntries if maxEntries <= 0). The four stages share the
+// bound; payloads are small (kilobytes of assembly/Verilog text), so
+// entry count is the natural unit.
+func New(maxEntries int) *Store {
+	return &Store{mem: cache.New[[]byte](maxEntries)}
+}
+
+// AttachDisk adds a persistent level rooted at dir (created if needed),
+// byte-bounded and checksummed like the artifact disk cache — the RTDC2
+// frame, quarantine, and scrub machinery are all inherited from
+// cache.Disk. Callers put it under the artifact cache root's "stages"
+// subdirectory: cache.OpenDisk skips subdirectories when indexing, so
+// the artifact, hint, and stage stores share one -disk tree without
+// seeing each other's files.
+func (s *Store) AttachDisk(dir string, maxBytes int64) error {
+	d, err := cache.OpenDisk(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	s.disk = d
+	return nil
+}
+
+// Disk exposes the persistent level (nil when memory-only); the
+// crash-restart suite and the scrubber read it.
+func (s *Store) Disk() *cache.Disk { return s.disk }
+
+// stage maps a pipeline stage name to its counter set.
+func (s *Store) stage(name string) *counters {
+	switch name {
+	case pipeline.StageSelect:
+		return &s.sel
+	case pipeline.StageCascade:
+		return &s.cas
+	case pipeline.StagePlace:
+		return &s.pl
+	case pipeline.StageOutput:
+		return &s.out
+	}
+	return &s.other
+}
+
+// Lookup returns the payload stored under (stage, key), consulting
+// memory then disk (a disk hit is promoted into memory). Any failure is
+// a miss: the caller recomputes the stage it would have recomputed
+// anyway. That contract extends to panics (an armed panic fault, a
+// bug): a memo whose only job is to skip work must never take a
+// compile down.
+func (s *Store) Lookup(ctx context.Context, stage, key string) (payload []byte, ok bool) {
+	if s == nil {
+		return nil, false
+	}
+	c := s.stage(stage)
+	defer func() {
+		if rec := recover(); rec != nil {
+			c.misses.Add(1)
+			payload, ok = nil, false
+		}
+	}()
+	if err := FaultLookup.Fire(ctx); err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if raw, ok := s.mem.Peek(cache.Key(key)); ok && len(raw) > 0 {
+		c.hits.Add(1)
+		return raw, true
+	}
+	if s.disk != nil {
+		if raw, ok := s.disk.Get(shield(ctx), cache.Key(key)); ok && len(raw) > 0 {
+			s.mem.Add(cache.Key(key), raw)
+			c.hits.Add(1)
+			return raw, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Store records a stage result under (stage, key), in memory and
+// (best-effort) on disk. Empty keys and payloads are dropped — the
+// pipeline never stores degraded stage results, and this guard keeps a
+// buggy caller from poisoning the memo with entries Lookup would serve
+// and the pipeline would reject.
+func (s *Store) Store(ctx context.Context, stage, key string, payload []byte) {
+	if s == nil || key == "" || len(payload) == 0 {
+		return
+	}
+	defer func() { recover() }()
+	if err := FaultStore.Fire(ctx); err != nil {
+		return
+	}
+	c := s.stage(stage)
+	c.stores.Add(1)
+	c.bytes.Add(int64(len(payload)))
+	s.mem.Add(cache.Key(key), payload)
+	if s.disk != nil {
+		// A failed persist (disk full, injected write fault) costs only
+		// restart warmth; the in-memory record above already serves
+		// this process.
+		_ = s.disk.Put(shield(ctx), cache.Key(key), payload)
+	}
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Entries / MaxEntries describe in-memory occupancy, shared by all
+	// stages.
+	Entries, MaxEntries int
+	// Per-stage Lookup/Store counters.
+	Select, Cascade, Place, Output StageStats
+	// Disk snapshots the persistent level, nil when memory-only.
+	Disk *cache.DiskStats
+}
+
+// Skips is the total number of stage recomputations the memo answered:
+// the sum of per-stage hits, with output-stage hits counting double
+// (one hit skips both codegen and timing).
+func (st Stats) Skips() uint64 {
+	return st.Select.Hits + st.Cascade.Hits + st.Place.Hits + 2*st.Output.Hits
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	ms := s.mem.Stats()
+	st := Stats{
+		Entries:    ms.Entries,
+		MaxEntries: ms.MaxEntries,
+		Select:     s.sel.snapshot(),
+		Cascade:    s.cas.snapshot(),
+		Place:      s.pl.snapshot(),
+		Output:     s.out.snapshot(),
+	}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
+}

@@ -1,0 +1,292 @@
+package stagecache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reticle/internal/cache"
+	"reticle/internal/faults"
+	"reticle/internal/pipeline"
+	"reticle/internal/rerr"
+)
+
+const testKey = "ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34ab12cd34"
+
+func TestMemoryRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	s := New(8)
+	if _, ok := s.Lookup(ctx, pipeline.StageSelect, testKey); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	s.Store(ctx, pipeline.StageSelect, testKey, []byte("def f() {}"))
+	got, ok := s.Lookup(ctx, pipeline.StageSelect, testKey)
+	if !ok || string(got) != "def f() {}" {
+		t.Fatalf("Lookup = %q, %v; want the stored payload", got, ok)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Select.Hits != 1 || st.Select.Misses != 1 || st.Select.Stores != 1 {
+		t.Errorf("stats = %+v, want 1 entry / 1 hit / 1 miss / 1 store on select", st)
+	}
+	if st.Select.Bytes != int64(len("def f() {}")) {
+		t.Errorf("Select.Bytes = %d, want payload length", st.Select.Bytes)
+	}
+	if st.Cascade != (StageStats{}) || st.Place != (StageStats{}) || st.Output != (StageStats{}) {
+		t.Errorf("select traffic leaked into other stages: %+v", st)
+	}
+	if st.Disk != nil {
+		t.Error("memory-only store reports disk stats")
+	}
+}
+
+func TestStoreGuards(t *testing.T) {
+	ctx := context.Background()
+	s := New(8)
+	s.Store(ctx, pipeline.StagePlace, "", []byte("x")) // empty key
+	s.Store(ctx, pipeline.StagePlace, testKey, nil)    // empty payload
+	if st := s.Stats(); st.Place.Stores != 0 || st.Entries != 0 {
+		t.Errorf("invalid stores were accepted: %+v", st)
+	}
+	if _, ok := s.Lookup(ctx, pipeline.StagePlace, testKey); ok {
+		t.Error("guarded store is servable")
+	}
+}
+
+func TestBounded(t *testing.T) {
+	ctx := context.Background()
+	s := New(2)
+	keys := []string{
+		strings.Repeat("aa", 32),
+		strings.Repeat("bb", 32),
+		strings.Repeat("cc", 32),
+	}
+	for _, k := range keys {
+		s.Store(ctx, pipeline.StageSelect, k, []byte("payload "+k))
+	}
+	st := s.Stats()
+	if st.Entries != 2 || st.MaxEntries != 2 {
+		t.Fatalf("stats = %+v, want the bound respected", st)
+	}
+	if _, ok := s.Lookup(ctx, pipeline.StageSelect, keys[0]); ok {
+		t.Error("oldest entry survived past the bound")
+	}
+	if _, ok := s.Lookup(ctx, pipeline.StageSelect, keys[2]); !ok {
+		t.Error("newest entry evicted")
+	}
+}
+
+// TestStagesShareOneLRUWithoutCollisions: the stage tag is hashed into
+// the key by the pipeline, so distinct stages never collide; here we
+// confirm the store itself keys purely on the string and the per-stage
+// split is accounting only.
+func TestStagesShareOneLRUWithoutCollisions(t *testing.T) {
+	ctx := context.Background()
+	s := New(8)
+	s.Store(ctx, pipeline.StageSelect, strings.Repeat("aa", 32), []byte("sel"))
+	s.Store(ctx, pipeline.StageOutput, strings.Repeat("bb", 32), []byte("out"))
+	if got, ok := s.Lookup(ctx, pipeline.StageSelect, strings.Repeat("aa", 32)); !ok || string(got) != "sel" {
+		t.Errorf("select entry = %q, %v", got, ok)
+	}
+	if got, ok := s.Lookup(ctx, pipeline.StageOutput, strings.Repeat("bb", 32)); !ok || string(got) != "out" {
+		t.Errorf("output entry = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Select.Stores != 1 || st.Output.Stores != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want one store per stage, two entries", st)
+	}
+}
+
+func TestUnknownStageDoesNotPanicOrPollute(t *testing.T) {
+	ctx := context.Background()
+	s := New(8)
+	s.Store(ctx, "mystery", testKey, []byte("x"))
+	if _, ok := s.Lookup(ctx, "mystery", testKey); !ok {
+		t.Error("unknown-stage entry not servable")
+	}
+	st := s.Stats()
+	if st.Select.Stores+st.Cascade.Stores+st.Place.Stores+st.Output.Stores != 0 {
+		t.Errorf("unknown stage polluted a named stage's counters: %+v", st)
+	}
+}
+
+func TestSkipsArithmetic(t *testing.T) {
+	st := Stats{
+		Select:  StageStats{Hits: 3},
+		Cascade: StageStats{Hits: 2},
+		Place:   StageStats{Hits: 1},
+		Output:  StageStats{Hits: 4},
+	}
+	// Output hits count double: one memo entry skips codegen AND timing.
+	if got := st.Skips(); got != 3+2+1+2*4 {
+		t.Errorf("Skips() = %d, want 14", got)
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := New(8)
+	if err := s.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Store(ctx, pipeline.StagePlace, testKey, []byte("placed asm"))
+
+	// A fresh store over the same directory — the restart case.
+	s2 := New(8)
+	if err := s2.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Lookup(ctx, pipeline.StagePlace, testKey)
+	if !ok || string(got) != "placed asm" {
+		t.Fatalf("reopened Lookup = %q, %v; want the persisted payload", got, ok)
+	}
+	// The disk hit was promoted: a second lookup is a memory hit even
+	// if the file vanishes.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("disk dir: %v entries, err %v", len(ents), err)
+	}
+	os.Remove(filepath.Join(dir, ents[0].Name()))
+	if _, ok := s2.Lookup(ctx, pipeline.StagePlace, testKey); !ok {
+		t.Error("promoted entry lost after disk file removal")
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	s := New(8)
+	if err := s.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Store(ctx, pipeline.StageOutput, testKey, []byte(`{"verilog":"module m; endmodule"}`))
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("expected one persisted entry, got %d", len(ents))
+	}
+	name := filepath.Join(dir, ents[0].Name())
+
+	for label, body := range map[string]string{
+		"truncated":  "RTD",
+		"zeroed":     strings.Repeat("\x00", 64),
+		"bitflipped": "not an RTDC2 frame at all, but long enough to look real",
+	} {
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2 := New(8)
+		if err := s2.AttachDisk(dir, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s2.Lookup(ctx, pipeline.StageOutput, testKey); ok {
+			t.Errorf("%s: corrupt disk entry served: %q", label, got)
+		}
+		if st := s2.Stats(); st.Output.Misses != 1 {
+			t.Errorf("%s: corrupt entry not counted as a miss: %+v", label, st.Output)
+		}
+	}
+}
+
+func TestLookupFaultDegradesToMiss(t *testing.T) {
+	s := New(8)
+	s.Store(context.Background(), pipeline.StageSelect, testKey, []byte("asm"))
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultLookup: {Class: rerr.Transient},
+	})
+	ctx := faults.WithPlan(context.Background(), plan)
+	if _, ok := s.Lookup(ctx, pipeline.StageSelect, testKey); ok {
+		t.Fatal("armed stagecache/lookup still served")
+	}
+	if st := s.Stats(); st.Select.Misses != 1 || st.Select.Hits != 0 {
+		t.Errorf("stats = %+v, want the faulted lookup counted as a miss", st.Select)
+	}
+	// Unarmed context: the entry is still there, the fault consumed
+	// nothing permanent.
+	if _, ok := s.Lookup(context.Background(), pipeline.StageSelect, testKey); !ok {
+		t.Error("entry lost after a faulted lookup")
+	}
+}
+
+func TestStoreFaultDropsWrite(t *testing.T) {
+	s := New(8)
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		FaultStore: {Class: rerr.Transient},
+	})
+	ctx := faults.WithPlan(context.Background(), plan)
+	s.Store(ctx, pipeline.StageSelect, testKey, []byte("asm"))
+	if st := s.Stats(); st.Select.Stores != 0 || st.Entries != 0 {
+		t.Errorf("armed stagecache/store still recorded: %+v", st)
+	}
+	if _, ok := s.Lookup(context.Background(), pipeline.StageSelect, testKey); ok {
+		t.Error("dropped write is servable")
+	}
+}
+
+// TestDiskFaultsShielded: the stage store's inner disk I/O must not
+// consume cache/disk-read / cache/disk-write injections aimed at the
+// artifact disk cache — the tiers share those fault points, and a
+// Times-capped artifact injection being eaten by a stage persist would
+// make the artifact chaos tests order-dependent.
+func TestDiskFaultsShielded(t *testing.T) {
+	dir := t.TempDir()
+	s := New(8)
+	if err := s.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.NewPlan(map[faults.Point]faults.Injection{
+		cache.FaultDiskWrite: {Class: rerr.Transient, Times: 1},
+		cache.FaultDiskRead:  {Class: rerr.Transient, Times: 1},
+	})
+	ctx := faults.WithPlan(context.Background(), plan)
+	s.Store(ctx, pipeline.StageCascade, testKey, []byte("cascaded"))
+
+	s2 := New(8)
+	if err := s2.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Lookup(ctx, pipeline.StageCascade, testKey); !ok {
+		t.Fatal("stage disk read consumed an artifact-tier fault injection")
+	}
+	if ds := s.Stats().Disk; ds == nil || ds.WriteErrors != 0 {
+		t.Errorf("stage disk write consumed an artifact-tier fault injection: %+v", ds)
+	}
+}
+
+func TestNilStoreSafe(t *testing.T) {
+	var s *Store
+	ctx := context.Background()
+	if _, ok := s.Lookup(ctx, pipeline.StageSelect, testKey); ok {
+		t.Error("nil store reported a hit")
+	}
+	s.Store(ctx, pipeline.StageSelect, testKey, []byte("x")) // must not panic
+	if st := s.Stats(); st.Entries != 0 || st.Select != (StageStats{}) {
+		t.Errorf("nil store stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	ctx := context.Background()
+	s := New(64)
+	dir := t.TempDir()
+	if err := s.AttachDisk(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			hex := "0123456789abcdef"
+			for i := 0; i < 50; i++ {
+				k := strings.Repeat(string(hex[(g+i)%16]), 64)
+				s.Store(ctx, pipeline.StageSelect, k, []byte("payload"))
+				s.Lookup(ctx, pipeline.StageSelect, k)
+				s.Stats()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -2,10 +2,12 @@
 # bench_baseline.sh — record a per-commit performance baseline.
 #
 # Runs every benchmark once (-benchtime=1x keeps the run minutes-cheap
-# while still exercising the full pipeline) and converts the output to
-# BENCH_<sha>.json via cmd/reticle-benchjson. CI uploads the file as an
-# artifact so the isel/placement perf trajectory is recorded per PR;
-# locally, diff two baselines to see what a change cost.
+# while still exercising the full pipeline) with -benchmem, so B/op and
+# allocs/op land in the baseline and allocation regressions gate like
+# time regressions, and converts the output to BENCH_<sha>.json via
+# cmd/reticle-benchjson. CI uploads the file as an artifact so the
+# isel/placement perf trajectory is recorded per PR; locally, diff two
+# baselines to see what a change cost.
 #
 # Usage: scripts/bench_baseline.sh [output-dir]
 set -eu
@@ -17,6 +19,6 @@ sha="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 short="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 out="$outdir/BENCH_${short}.json"
 
-go test -bench=. -benchtime=1x -run='^$' ./... \
+go test -bench=. -benchtime=1x -benchmem -run='^$' ./... \
   | go run ./cmd/reticle-benchjson -sha "$sha" -o "$out"
 echo "bench baseline: $out"

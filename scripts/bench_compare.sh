@@ -7,18 +7,21 @@
 # and place-ns as custom metrics, and BenchmarkEditReplay reports the
 # incremental-compile series (hint-cache-hit-rate, steps-per-edit),
 # and BenchmarkExplore reports the design-space sweep series
-# (variants-per-sec, explore-cache-hit-rate, explore-ns-per-variant);
-# this compares those plus ns_per_op against the base baseline via
-# cmd/reticle-benchcompare. Higher-is-better metrics (hint-hit-rate,
-# hint-cache-hit-rate, probes-skipped) are reported but never fail the
-# check; steps-per-edit is gated, so the adoption path cannot silently
-# start re-solving, and explore-ns-per-variant is gated, so warm sweeps
-# cannot silently start recompiling.
+# (variants-per-sec, stage-skips-per-variant, explore-ns-per-variant);
+# this compares those plus ns_per_op, B/op, and allocs/op against the
+# base baseline via cmd/reticle-benchcompare. Higher-is-better metrics
+# (hint-hit-rate, hint-cache-hit-rate, probes-skipped) are reported but
+# never fail the check; steps-per-edit is gated, so the adoption path
+# cannot silently start re-solving; explore-ns-per-variant is gated, so
+# memoized sweeps cannot silently start recompiling stages; and
+# allocs/op is gated, so the hot paths cannot silently start churning
+# the GC.
 #
 # Usage: scripts/bench_compare.sh base.json head.json [threshold]
 #
-# Exit: 0 no regression (or base file missing -- comparison is advisory,
-# so an absent base skips rather than fails), 1 regression, 2 usage.
+# Exit: 0 no regression, 1 regression or missing base baseline (a
+# repo-committed BENCH_<sha>.json always exists, so an absent base
+# means the bench job is miswired -- fail loudly, never skip), 2 usage.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,8 +35,8 @@ head="$2"
 threshold="${3:-0.20}"
 
 if [ ! -f "$base" ]; then
-  echo "bench_compare: base baseline $base not found; skipping comparison"
-  exit 0
+  echo "bench_compare: base baseline $base not found (expected a committed or downloaded BENCH_*.json); failing" >&2
+  exit 1
 fi
 if [ ! -f "$head" ]; then
   echo "bench_compare: head baseline $head not found" >&2

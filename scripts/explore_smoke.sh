@@ -5,8 +5,10 @@
 # variant lattice twice, and checks the contract CI cares about: the
 # sweep returns a non-empty Pareto frontier, the second (cache-warm)
 # sweep serves byte-identical variants/frontier sections with every
-# variant a cache hit, the streamed sweep ends in a frontier footer,
-# and /stats records the sweeps.
+# variant a cache hit, the first (jobs:1, so in-sweep stage sharing is
+# deterministic) sweep drove the per-stage memo (stats stage_cache
+# reports stages_skipped > 0), the streamed sweep ends in a frontier
+# footer, and /stats records the sweeps.
 #
 # Usage: scripts/explore_smoke.sh [port]
 # The port defaults to $RETICLE_SMOKE_PORT, then 18082, so CI jobs that
@@ -44,8 +46,11 @@ until curl -fsS "$base/healthz" >/dev/null 2>&1; do
     sleep 0.2
 done
 
+# jobs:1 keeps the first sweep sequential, so its in-sweep stage-memo
+# sharing (nocascade variants reuse their base variant's selection) is
+# deterministic rather than racing the worker pool.
 cat >"$tmp/req.json" <<'JSON'
-{"ir": "def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {\n    t0:i8 = mul(a, b) @??;\n    t1:i8 = add(t0, c) @??;\n    y:i8 = reg[0](t1, en) @??;\n}", "family": "ultrascale"}
+{"ir": "def macc(a:i8, b:i8, c:i8, en:bool) -> (y:i8) {\n    t0:i8 = mul(a, b) @??;\n    t1:i8 = add(t0, c) @??;\n    y:i8 = reg[0](t1, en) @??;\n}", "family": "ultrascale", "jobs": 1}
 JSON
 
 curl -fsS -X POST --data-binary @"$tmp/req.json" "$base/explore" >"$tmp/first.json" \
@@ -109,8 +114,24 @@ assert ex["variant_cache_hits"] > 0, ex
 assert ex["partial"] == 0, ex
 ' "$tmp/stats.json" || fail "stats explore section wrong: $(cat "$tmp/stats.json")"
 
+# The per-stage memo must have carried weight: the sequential first
+# sweep shares selection across cascade-flipped variants, so cumulative
+# stages_skipped is > 0 even though the warm sweeps were whole-artifact
+# hits — and the frontier above was byte-identical throughout, so the
+# memo changed nothing but the work done.
+python3 -c '
+import json, sys
+st = json.load(open(sys.argv[1]))
+sc = st["stage_cache"]
+assert sc["stages_skipped"] > 0, sc
+hits = sum(sc[s]["hits"] for s in ("select", "cascade", "place", "output"))
+stores = sum(sc[s]["stores"] for s in ("select", "cascade", "place", "output"))
+assert hits > 0 and stores > 0, sc
+assert st["mem"]["heap_alloc_bytes"] > 0, st["mem"]
+' "$tmp/stats.json" || fail "stats stage_cache section wrong: $(cat "$tmp/stats.json")"
+
 kill -TERM "$pid"
 wait "$pid" || fail "server did not drain cleanly on SIGTERM"
 pid=""
 
-echo "explore_smoke: OK (frontier, warm byte-identical + fully cached, stream footer, stats)"
+echo "explore_smoke: OK (frontier, warm byte-identical + fully cached, stage memo engaged, stream footer, stats)"

@@ -1,0 +1,273 @@
+// The stage-memo property suite: the per-stage compilation memo
+// (internal/stagecache, DESIGN.md §15) is an accelerator, never an
+// input. Every bundled example program, on every bundled family, is
+// compiled three ways — an /explore lattice sweep, a one-op edit
+// replay, and a nocascade flip — and every memoized artifact must be
+// byte-identical on its deterministic surface to a cold compile of the
+// same source on a compiler that has never seen anything. Run under
+// -race, the warm sweeps also exercise concurrent stage-cache access.
+package reticle
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"reticle/internal/stagecache"
+	"reticle/internal/target/agilex"
+)
+
+// memoFamilies are the bundled (target, device) pairs under test.
+func memoFamilies() []struct {
+	name string
+	opts Options
+} {
+	return []struct {
+		name string
+		opts Options
+	}{
+		{"ultrascale", Options{}},
+		{"agilex", Options{Target: agilex.Target(), Device: agilex.Device()}},
+	}
+}
+
+// stableSurface renders every deterministic field of an artifact — the
+// fields that reach the wire — so cold and memoized compiles can be
+// compared byte-for-byte. Timings, solver counters, warm-start
+// attribution, and StagesSkipped are process-local and excluded, same
+// as the service's deterministic-payload contract.
+func stableSurface(a *Artifact) string {
+	return fmt.Sprintf("asm:%s\nplaced:%s\nverilog:%s\nluts:%d dsps:%d ffs:%d carries:%d\ncrit:%g fmax:%g chains:%d\npath:%v\ndegraded:%v reason:%q",
+		a.Asm.String(), a.Placed.String(), a.Verilog,
+		a.LUTs, a.DSPs, a.FFs, a.Carries,
+		a.CriticalNs, a.FMaxMHz, a.CascadeChains,
+		a.CriticalPath, a.Degraded, a.DegradedReason)
+}
+
+var constPat = regexp.MustCompile(`const\[\d+\]`)
+
+// oneOpEdit makes a minimal source-level edit that changes the printed
+// IR (so stage keys shift) without breaking the kernel: tweak the first
+// constant when the program has one, otherwise swap the operands of the
+// first add (commutative, but a different instruction spelling).
+func oneOpEdit(t *testing.T, src string) string {
+	t.Helper()
+	if loc := constPat.FindStringIndex(src); loc != nil {
+		return src[:loc[0]] + "const[9]" + src[loc[1]:]
+	}
+	if i := strings.Index(src, "add("); i >= 0 {
+		j := strings.Index(src[i:], ")")
+		call := src[i : i+j]
+		parts := strings.SplitN(strings.TrimPrefix(call, "add("), ", ", 2)
+		if len(parts) == 2 {
+			return src[:i] + "add(" + parts[1] + ", " + parts[0] + src[i+j:]
+		}
+	}
+	t.Fatal("no editable op in program")
+	return ""
+}
+
+// coldCompile compiles src on a fresh, cache-less compiler.
+func coldCompile(t *testing.T, opts Options, src string) *Artifact {
+	t.Helper()
+	c, err := NewCompilerWith(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseIR(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestStageMemoByteIdentityEditReplay(t *testing.T) {
+	progs := examplePrograms(t)
+	for _, fam := range memoFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for name, src := range progs {
+				name, src := name, src
+				t.Run(name, func(t *testing.T) {
+					edited := oneOpEdit(t, src)
+					c, err := NewCompilerWith(fam.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.cfg.StageCache = stagecache.New(256)
+
+					compileMemo := func(s string) *Artifact {
+						f, err := ParseIR(s)
+						if err != nil {
+							t.Fatal(err)
+						}
+						art, err := c.Compile(f)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return art
+					}
+
+					// Fill (cold through the memo), then replay: every stage
+					// must hit, and the artifact must not move.
+					fill := compileMemo(src)
+					if fill.StagesSkipped != 0 {
+						t.Fatalf("first compile skipped %d stages through an empty memo", fill.StagesSkipped)
+					}
+					warm := compileMemo(src)
+					if warm.StagesSkipped == 0 {
+						t.Error("replay compile skipped no stages: stage keys are unstable")
+					}
+					ref := coldCompile(t, fam.opts, src)
+					if got, want := stableSurface(warm), stableSurface(ref); got != want {
+						t.Errorf("memoized replay differs from cold compile:\n--- memoized\n%s\n--- cold\n%s", got, want)
+					}
+					if stableSurface(fill) != stableSurface(ref) {
+						t.Error("fill compile differs from cold compile")
+					}
+
+					// The edit: a different kernel compiled through the warm
+					// memo must equal its own cold compile — shared stages are
+					// reused, diverged stages recomputed, output unchanged.
+					memoEdit := compileMemo(edited)
+					refEdit := coldCompile(t, fam.opts, edited)
+					if got, want := stableSurface(memoEdit), stableSurface(refEdit); got != want {
+						t.Errorf("memoized edit differs from cold compile of the edit:\n--- memoized\n%s\n--- cold\n%s", got, want)
+					}
+					if stableSurface(refEdit) == stableSurface(ref) {
+						t.Error("one-op edit produced a byte-identical artifact: the edit is not an edit")
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestStageMemoByteIdentityNoCascadeFlip(t *testing.T) {
+	progs := examplePrograms(t)
+	for _, fam := range memoFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for name, src := range progs {
+				name, src := name, src
+				t.Run(name, func(t *testing.T) {
+					sc := stagecache.New(256)
+					c, err := NewCompilerWith(fam.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.cfg.StageCache = sc
+					f, err := ParseIR(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := c.Compile(f); err != nil {
+						t.Fatal(err)
+					}
+
+					// Flip NoCascade on a compiler sharing the same memo: the
+					// select stage is cascade-independent, so the flipped
+					// compile shares it, and everything downstream recomputes
+					// to exactly the cold flipped artifact.
+					flipOpts := fam.opts
+					flipOpts.NoCascade = true
+					cf, err := NewCompilerWith(flipOpts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cf.cfg.StageCache = sc
+					ff, err := ParseIR(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					flipped, err := cf.Compile(ff)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if flipped.StagesSkipped == 0 {
+						t.Error("nocascade flip shared no stages: select keys leaked a cascade-only field")
+					}
+					ref := coldCompile(t, flipOpts, src)
+					if got, want := stableSurface(flipped), stableSurface(ref); got != want {
+						t.Errorf("memoized nocascade compile differs from cold:\n--- memoized\n%s\n--- cold\n%s", got, want)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestStageMemoByteIdentityExplore(t *testing.T) {
+	progs := examplePrograms(t)
+	for _, fam := range memoFamilies() {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			for name, src := range progs {
+				name, src := name, src
+				t.Run(name, func(t *testing.T) {
+					ctx := context.Background()
+					f, err := ParseIR(src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := ExploreOptions{Jobs: 4}
+
+					cold, err := func() (*ExploreResult, error) {
+						c, err := NewCompilerWith(fam.opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return c.Explore(ctx, f, opts)
+					}()
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					c, err := NewCompilerWith(fam.opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					c.cfg.StageCache = stagecache.New(1024)
+					fill, err := c.Explore(ctx, f, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					warm, err := c.Explore(ctx, f, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if warm.Stats.StagesSkipped == 0 {
+						t.Error("warm repeat sweep skipped no stages")
+					}
+
+					for _, res := range []*ExploreResult{fill, warm} {
+						if len(res.Variants) != len(cold.Variants) {
+							t.Fatalf("lattice size moved: %d vs %d", len(res.Variants), len(cold.Variants))
+						}
+						for i := range res.Variants {
+							mv, cv := res.Variants[i], cold.Variants[i]
+							if mv.ID != cv.ID || mv.Ok() != cv.Ok() {
+								t.Fatalf("variant %d identity moved: %s/%v vs %s/%v", i, mv.ID, mv.Ok(), cv.ID, cv.Ok())
+							}
+							if !mv.Ok() {
+								continue
+							}
+							if got, want := stableSurface(mv.Artifact), stableSurface(cv.Artifact); got != want {
+								t.Errorf("variant %s: memoized sweep differs from cold:\n--- memoized\n%s\n--- cold\n%s", mv.ID, got, want)
+							}
+						}
+						if fmt.Sprint(res.Frontier) != fmt.Sprint(cold.Frontier) {
+							t.Errorf("frontier moved:\nmemoized %v\ncold     %v", res.Frontier, cold.Frontier)
+						}
+					}
+				})
+			}
+		})
+	}
+}
